@@ -1,0 +1,132 @@
+// Extension bench (DESIGN.md §7): the regression-free second-order
+// oscillation ratio (§IV-A) versus the window least-squares diagnoser the
+// paper argues against. Compares (a) diagnosis quality on labeled synthetic
+// trajectories, (b) per-parameter state size, (c) refresh throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/oscillation.h"
+#include "core/regression.h"
+#include "util/rng.h"
+
+using namespace fedsu;
+
+namespace {
+
+// Labeled trajectory generator: linear (slope + small noise) vs non-linear
+// (quadratic, exponential decay, or regime switches).
+struct Trajectory {
+  std::vector<float> values;
+  bool linear;
+};
+
+std::vector<Trajectory> make_trajectories(int count, int length,
+                                          util::Rng& rng) {
+  std::vector<Trajectory> out;
+  for (int i = 0; i < count; ++i) {
+    Trajectory t;
+    t.linear = (i % 2 == 0);
+    double v = rng.normal();
+    const double slope = rng.uniform(-0.5, 0.5);
+    for (int k = 0; k < length; ++k) {
+      if (t.linear) {
+        v += slope + 0.02 * slope * rng.normal();
+      } else {
+        switch (i % 6) {
+          case 1:
+            v += 0.01 * k;  // accelerating
+            break;
+          case 3:
+            v = 3.0 * std::exp(-0.15 * k);  // exponential decay
+            break;
+          default:
+            v += ((k / 6) % 2 == 0 ? slope : -slope);  // recurring regime switches
+            break;
+        }
+      }
+      t.values.push_back(static_cast<float>(v));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void BM_OscillationRefresh(benchmark::State& state) {
+  const std::size_t p = 100000;
+  core::OscillationTracker tracker(p);
+  util::Rng rng(3);
+  std::vector<float> g(p);
+  for (auto& x : g) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < p; ++j) {
+      benchmark::DoNotOptimize(tracker.observe(j, g[j]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(p));
+}
+BENCHMARK(BM_OscillationRefresh);
+
+void BM_RegressionRefresh(benchmark::State& state) {
+  const std::size_t p = 100000;
+  core::RegressionOptions options;
+  options.window = 8;
+  core::RegressionDiagnoser diag(p, options);
+  util::Rng rng(3);
+  std::vector<float> v(p);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < p; ++j) {
+      diag.observe(j, v[j]);
+      benchmark::DoNotOptimize(diag.ready(j) ? diag.normalized_residual(j)
+                                             : 1.0);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(p));
+}
+BENCHMARK(BM_RegressionRefresh);
+
+void print_quality_table() {
+  util::Rng rng(11);
+  const int count = 2000, length = 40;
+  const auto trajectories = make_trajectories(count, length, rng);
+
+  int osc_correct = 0, reg_correct = 0;
+  for (const auto& t : trajectories) {
+    core::OscillationTracker osc(1);
+    core::RegressionOptions roptions;
+    roptions.window = 8;
+    roptions.residual_threshold = 0.5;
+    core::RegressionDiagnoser reg(1, roptions);
+    for (std::size_t k = 1; k < t.values.size(); ++k) {
+      osc.observe(0, t.values[k] - t.values[k - 1]);
+      reg.observe(0, t.values[k]);
+    }
+    const bool osc_verdict = osc.ready(0) && osc.ratio(0) < 0.1;
+    if (osc_verdict == t.linear) ++osc_correct;
+    if (reg.is_linear(0) == t.linear) ++reg_correct;
+  }
+  core::OscillationTracker osc_state(100000);
+  core::RegressionOptions roptions;
+  roptions.window = 8;
+  core::RegressionDiagnoser reg_state(100000, roptions);
+
+  std::printf("\n=== Diagnosis ablation: oscillation ratio vs window "
+              "regression ===\n");
+  std::printf("%-24s %14s %20s\n", "Method", "Accuracy", "State (bytes/param)");
+  std::printf("%-24s %13.1f%% %20.1f\n", "oscillation ratio (R)",
+              100.0 * osc_correct / count, osc_state.state_bytes() / 1e5);
+  std::printf("%-24s %13.1f%% %20.1f\n", "window regression (K=8)",
+              100.0 * reg_correct / count, reg_state.state_bytes() / 1e5);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_quality_table();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Shared configuration and helpers for the bench binaries (one per paper
+// table/figure — see DESIGN.md §4).
+//
+// Every bench accepts the same workload flags with single-core-friendly
+// defaults; EXPERIMENTS.md records the shapes these defaults reproduce.
+// The network default (0.1 Mbps) keeps the paper's regime — communication
+// is the majority of FedAvg round time — after scaling model size down from
+// ResNet-18/DenseNet-121 to the 1-vCPU zoo (DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fl/protocol_factory.h"
+#include "fl/simulation.h"
+#include "metrics/convergence.h"
+#include "util/flags.h"
+
+namespace fedsu::bench {
+
+struct BenchConfig {
+  std::string dataset = "emnist";  // emnist | fmnist | cifar
+  int clients = 8;
+  int rounds = 50;
+  int iterations = 10;
+  int batch = 16;
+  double lr = 0.03;
+  double noise = 1.0;
+  double alpha = 1.0;
+  int train_count = 1200;
+  int test_count = 400;
+  int eval_every = 2;
+  double bandwidth_mbps = 0.1;
+  std::uint64_t seed = 42;
+  std::string csv_dir;  // empty: no CSV dump
+  // FedSU thresholds; defaults are the lossless operating point calibrated
+  // for 10-iteration rounds (EXPERIMENTS.md "Threshold scaling").
+  double t_r = 0.05;
+  double t_s = 2.0;
+  int no_check = 2;
+  // CMFL sign-relevance threshold; 0.8 in the paper, 0.7 at this repo's
+  // noisier 10-iteration rounds (EXPERIMENTS.md "Threshold scaling").
+  double cmfl_relevance = 0.7;
+};
+
+inline util::Flags make_flags(const BenchConfig& defaults) {
+  util::Flags flags;
+  flags.add_string("dataset", defaults.dataset, "emnist | fmnist | cifar")
+      .add_int("clients", defaults.clients, "number of FL clients")
+      .add_int("rounds", defaults.rounds, "FL rounds to run")
+      .add_int("iterations", defaults.iterations, "local iterations per round")
+      .add_int("batch", defaults.batch, "local batch size")
+      .add_double("lr", defaults.lr, "SGD learning rate")
+      .add_double("noise", defaults.noise, "synthetic dataset noise stddev")
+      .add_double("alpha", defaults.alpha, "Dirichlet non-IID concentration")
+      .add_int("train-count", defaults.train_count, "training samples")
+      .add_int("test-count", defaults.test_count, "test samples")
+      .add_int("eval-every", defaults.eval_every, "rounds between evaluations")
+      .add_double("bandwidth-mbps", defaults.bandwidth_mbps,
+                  "client link bandwidth (model-scaled; see DESIGN.md)")
+      .add_int("seed", static_cast<long long>(defaults.seed), "random seed")
+      .add_string("csv", defaults.csv_dir, "directory for CSV dumps (optional)")
+      .add_double("t-r", defaults.t_r, "FedSU predictability threshold T_R")
+      .add_double("t-s", defaults.t_s, "FedSU error-feedback threshold T_S")
+      .add_int("no-check", defaults.no_check, "FedSU initial no-check period")
+      .add_double("cmfl-relevance", defaults.cmfl_relevance,
+                  "CMFL sign-relevance threshold");
+  return flags;
+}
+
+inline BenchConfig config_from_flags(const util::Flags& flags) {
+  BenchConfig config;
+  config.dataset = flags.get_string("dataset");
+  config.clients = static_cast<int>(flags.get_int("clients"));
+  config.rounds = static_cast<int>(flags.get_int("rounds"));
+  config.iterations = static_cast<int>(flags.get_int("iterations"));
+  config.batch = static_cast<int>(flags.get_int("batch"));
+  config.lr = flags.get_double("lr");
+  config.noise = flags.get_double("noise");
+  config.alpha = flags.get_double("alpha");
+  config.train_count = static_cast<int>(flags.get_int("train-count"));
+  config.test_count = static_cast<int>(flags.get_int("test-count"));
+  config.eval_every = static_cast<int>(flags.get_int("eval-every"));
+  config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.csv_dir = flags.get_string("csv");
+  config.t_r = flags.get_double("t-r");
+  config.t_s = flags.get_double("t-s");
+  config.no_check = static_cast<int>(flags.get_int("no-check"));
+  config.cmfl_relevance = flags.get_double("cmfl-relevance");
+  return config;
+}
+
+// Scales the conv workloads to 1-vCPU sizes: the CNN keeps the paper's
+// 28x28 input; the ResNet/DenseNet stand-ins run on 14x14 / 16x16 images.
+inline fl::SimulationOptions simulation_options(const BenchConfig& config) {
+  fl::SimulationOptions options;
+  options.model = nn::paper_spec(config.dataset);
+  options.dataset = data::synthetic_preset(config.dataset);
+  if (options.model.arch == "resnet") {
+    options.model.image_size = 14;
+    options.dataset.image_size = 14;
+  } else if (options.model.arch == "densenet") {
+    options.model.image_size = 16;
+    options.dataset.image_size = 16;
+  }
+  options.dataset.train_count = config.train_count;
+  options.dataset.test_count = config.test_count;
+  options.dataset.noise = static_cast<float>(config.noise);
+  options.dataset.label_noise = 0.05f;
+  options.dataset.seed = config.seed ^ 0x51ed;
+  options.num_clients = config.clients;
+  options.dirichlet_alpha = config.alpha;
+  options.local.iterations = config.iterations;
+  options.local.batch_size = config.batch;
+  options.local.learning_rate = static_cast<float>(config.lr);
+  options.local.weight_decay = 1e-3f;
+  options.participation_fraction = 0.7;
+  options.network.client_bandwidth_bps = config.bandwidth_mbps * 1e6;
+  options.network.seed = config.seed ^ 0xbeef;
+  options.eval_every = config.eval_every;
+  options.seed = config.seed;
+  return options;
+}
+
+inline fl::ProtocolConfig protocol_config(const BenchConfig& config,
+                                          const std::string& name) {
+  fl::ProtocolConfig pc;
+  pc.name = name;
+  pc.num_clients = config.clients;
+  pc.fedsu.t_r = config.t_r;
+  pc.fedsu.t_s = config.t_s;
+  pc.fedsu.initial_no_check = config.no_check;
+  pc.fedsu_v1.t_r = config.t_r;
+  pc.cmfl_relevance = config.cmfl_relevance;
+  return pc;
+}
+
+struct SchemeRun {
+  std::string scheme;
+  std::vector<fl::RoundRecord> records;
+  metrics::RunSummary summary;
+  std::optional<double> time_to_target_s;
+  std::optional<int> rounds_to_target;
+};
+
+// Runs one scheme end-to-end. When `target` is set, the run still completes
+// all rounds (curves need the tail) but the crossing is recorded.
+inline SchemeRun run_scheme(const BenchConfig& config, const std::string& name,
+                            std::optional<float> target = {}) {
+  fl::Simulation sim(simulation_options(config),
+                     fl::make_protocol(protocol_config(config, name)));
+  SchemeRun run;
+  run.scheme = name;
+  metrics::ConvergenceTracker tracker(target.value_or(0.999f));
+  for (int r = 0; r < config.rounds; ++r) {
+    run.records.push_back(sim.step());
+    tracker.observe(run.records.back());
+  }
+  run.summary = metrics::summarize(run.records);
+  if (target && tracker.reached()) {
+    run.time_to_target_s = tracker.time_to_target_s();
+    run.rounds_to_target = tracker.rounds_to_target();
+  }
+  return run;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace fedsu::bench

@@ -1,0 +1,100 @@
+#include "compress/apf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::compress {
+
+Apf::Apf(ApfOptions options) : options_(options) {
+  if (options_.stability_threshold <= 0.0 || options_.ema_decay <= 0.0 ||
+      options_.ema_decay >= 1.0) {
+    throw std::invalid_argument("Apf: bad options");
+  }
+}
+
+void Apf::initialize(std::span<const float> global_state) {
+  global_.assign(global_state.begin(), global_state.end());
+  const std::size_t p = global_.size();
+  ema_update_.assign(p, 0.0f);
+  ema_abs_update_.assign(p, 0.0f);
+  freeze_remaining_.assign(p, 0);
+  freeze_period_.assign(p, 0);
+  observations_.assign(p, 0);
+}
+
+SyncResult Apf::synchronize(
+    const RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  if (client_states.size() != ctx.participants.size()) {
+    throw std::invalid_argument("Apf: participants/state count mismatch");
+  }
+  const std::size_t p = global_.size();
+  const std::size_t n = client_states.size();
+  const float theta = static_cast<float>(options_.ema_decay);
+
+  std::vector<float> new_global = global_;
+  std::size_t synced = 0;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (freeze_remaining_[j] > 0) {
+      // Frozen: hold the value, not transmitted. When the period elapses the
+      // parameter rejoins synchronization next round for a stability check.
+      --freeze_remaining_[j];
+      continue;
+    }
+    ++synced;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
+    const float synced_value = static_cast<float>(acc / static_cast<double>(n));
+    const float update = synced_value - global_[j];
+    new_global[j] = synced_value;
+    // Update the effective-perturbation statistics.
+    ema_update_[j] = theta * ema_update_[j] + (1.0f - theta) * update;
+    ema_abs_update_[j] =
+        theta * ema_abs_update_[j] + (1.0f - theta) * std::fabs(update);
+    ++observations_[j];
+    if (observations_[j] < options_.warmup_rounds) continue;
+    const float denom = ema_abs_update_[j];
+    const double ep = denom > 0.0f ? std::fabs(ema_update_[j]) / denom : 0.0;
+    if (ep < options_.stability_threshold) {
+      // Stable: freeze, growing the period additively each consecutive
+      // stable verdict.
+      freeze_period_[j] = freeze_period_[j] > 0
+                              ? freeze_period_[j] + 1
+                              : options_.initial_period;
+      freeze_remaining_[j] = freeze_period_[j];
+    } else {
+      freeze_period_[j] = 0;  // unstable: restart the probing cycle
+    }
+  }
+  global_ = new_global;
+
+  SyncResult result;
+  result.new_global = std::move(new_global);
+  const std::size_t bytes = synced * sizeof(float);
+  result.bytes_up.assign(n, bytes);
+  result.bytes_down.assign(n, bytes);
+  result.scalars_up = synced * n;
+  result.scalars_down = synced * n;
+  last_ratio_ =
+      p == 0 ? 0.0 : 1.0 - static_cast<double>(synced) / static_cast<double>(p);
+  return result;
+}
+
+std::size_t Apf::state_bytes() const {
+  return global_.size() * sizeof(float) + ema_update_.size() * sizeof(float) +
+         ema_abs_update_.size() * sizeof(float) +
+         freeze_remaining_.size() * sizeof(std::int32_t) +
+         freeze_period_.size() * sizeof(std::int32_t) +
+         observations_.size() * sizeof(std::int32_t);
+}
+
+double Apf::frozen_fraction() const {
+  if (freeze_remaining_.empty()) return 0.0;
+  std::size_t frozen = 0;
+  for (auto r : freeze_remaining_) {
+    if (r > 0) ++frozen;
+  }
+  return static_cast<double>(frozen) / static_cast<double>(freeze_remaining_.size());
+}
+
+}  // namespace fedsu::compress

@@ -1,0 +1,91 @@
+#include "compress/cmfl.h"
+
+#include <stdexcept>
+
+namespace fedsu::compress {
+
+Cmfl::Cmfl(CmflOptions options) : options_(options) {
+  if (options_.relevance_threshold < 0.0 || options_.relevance_threshold > 1.0) {
+    throw std::invalid_argument("Cmfl: relevance threshold out of [0, 1]");
+  }
+}
+
+void Cmfl::initialize(std::span<const float> global_state) {
+  global_.assign(global_state.begin(), global_state.end());
+  prev_update_.assign(global_state.size(), 0.0f);
+  has_prev_update_ = false;
+}
+
+SyncResult Cmfl::synchronize(
+    const RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  if (client_states.size() != ctx.participants.size()) {
+    throw std::invalid_argument("Cmfl: participants/state count mismatch");
+  }
+  const std::size_t p = global_.size();
+  const std::size_t n = client_states.size();
+  last_relevances_.assign(n, 1.0);
+
+  // Decide which clients report. Round 0 has no reference update: everyone
+  // reports (matching the CMFL paper's warm-up behaviour).
+  std::vector<bool> reports(n, true);
+  if (has_prev_update_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t agree = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        const float u = client_states[i][j] - global_[j];
+        // Zero entries count as agreeing: they cannot hurt the global
+        // direction (and exact zeros are rare for float updates anyway).
+        const bool sign_u = u >= 0.0f;
+        const bool sign_g = prev_update_[j] >= 0.0f;
+        if (u == 0.0f || prev_update_[j] == 0.0f || sign_u == sign_g) ++agree;
+      }
+      last_relevances_[i] =
+          p == 0 ? 1.0 : static_cast<double>(agree) / static_cast<double>(p);
+      reports[i] = last_relevances_[i] >= options_.relevance_threshold;
+    }
+  }
+
+  // Aggregate the reporting clients; if every update was withheld, the
+  // global state stays put for this round.
+  std::vector<double> acc(p, 0.0);
+  std::size_t reporting = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!reports[i]) continue;
+    ++reporting;
+    for (std::size_t j = 0; j < p; ++j) acc[j] += client_states[i][j];
+  }
+  std::vector<float> new_global = global_;
+  if (reporting > 0) {
+    const double inv = 1.0 / static_cast<double>(reporting);
+    for (std::size_t j = 0; j < p; ++j) {
+      new_global[j] = static_cast<float>(acc[j] * inv);
+    }
+  }
+
+  // Track the global update for next round's relevance checks.
+  for (std::size_t j = 0; j < p; ++j) prev_update_[j] = new_global[j] - global_[j];
+  has_prev_update_ = true;
+  global_ = new_global;
+
+  SyncResult result;
+  result.new_global = std::move(new_global);
+  const std::size_t full_bytes = p * sizeof(float);
+  result.bytes_up.resize(n);
+  result.bytes_down.assign(n, full_bytes);  // everyone downloads the model
+  for (std::size_t i = 0; i < n; ++i) {
+    result.bytes_up[i] = reports[i] ? full_bytes : 0;
+    result.scalars_up += reports[i] ? p : 0;
+  }
+  result.scalars_down = p * n;
+  last_ratio_ = n == 0 ? 0.0
+                       : 1.0 - static_cast<double>(reporting) /
+                                   static_cast<double>(n);
+  return result;
+}
+
+std::size_t Cmfl::state_bytes() const {
+  return (global_.size() + prev_update_.size()) * sizeof(float);
+}
+
+}  // namespace fedsu::compress

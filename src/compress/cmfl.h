@@ -1,0 +1,42 @@
+// CMFL (Wang/Luping et al., ICDCS'19): a client uploads its update only when
+// a sufficient fraction of its element-wise signs agree with the previous
+// global update ("relevance"); irrelevant updates are withheld.
+#pragma once
+
+#include "compress/protocol.h"
+
+namespace fedsu::compress {
+
+struct CmflOptions {
+  // Paper default (§VI-A): updates with < 80 % sign agreement are withheld.
+  double relevance_threshold = 0.8;
+};
+
+class Cmfl : public SyncProtocol {
+ public:
+  explicit Cmfl(CmflOptions options = {});
+
+  std::string name() const override { return "CMFL"; }
+
+  void initialize(std::span<const float> global_state) override;
+
+  SyncResult synchronize(
+      const RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+
+  std::size_t state_bytes() const override;
+  double last_sparsification_ratio() const override { return last_ratio_; }
+
+  // Relevance of each participant in the most recent round (for tests).
+  const std::vector<double>& last_relevances() const { return last_relevances_; }
+
+ private:
+  CmflOptions options_;
+  std::vector<float> global_;       // current global state
+  std::vector<float> prev_update_;  // last global update (round k-1)
+  bool has_prev_update_ = false;
+  double last_ratio_ = 0.0;
+  std::vector<double> last_relevances_;
+};
+
+}  // namespace fedsu::compress

@@ -1,0 +1,46 @@
+#include "compress/fedavg.h"
+
+#include <stdexcept>
+
+namespace fedsu::compress {
+
+std::vector<float> average_states(
+    const std::vector<std::span<const float>>& client_states) {
+  if (client_states.empty()) {
+    throw std::invalid_argument("average_states: no clients");
+  }
+  const std::size_t p = client_states.front().size();
+  std::vector<double> acc(p, 0.0);
+  for (const auto& state : client_states) {
+    if (state.size() != p) {
+      throw std::invalid_argument("average_states: state size mismatch");
+    }
+    for (std::size_t j = 0; j < p; ++j) acc[j] += state[j];
+  }
+  std::vector<float> out(p);
+  const double inv = 1.0 / static_cast<double>(client_states.size());
+  for (std::size_t j = 0; j < p; ++j) out[j] = static_cast<float>(acc[j] * inv);
+  return out;
+}
+
+void FedAvg::initialize(std::span<const float> global_state) {
+  state_size_ = global_state.size();
+}
+
+SyncResult FedAvg::synchronize(
+    const RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  if (client_states.size() != ctx.participants.size()) {
+    throw std::invalid_argument("FedAvg: participants/state count mismatch");
+  }
+  SyncResult result;
+  result.new_global = average_states(client_states);
+  const std::size_t bytes = result.new_global.size() * sizeof(float);
+  result.bytes_up.assign(client_states.size(), bytes);
+  result.bytes_down.assign(client_states.size(), bytes);
+  result.scalars_up = result.new_global.size() * client_states.size();
+  result.scalars_down = result.scalars_up;
+  return result;
+}
+
+}  // namespace fedsu::compress

@@ -1,0 +1,24 @@
+// FedAvg (McMahan et al.): full-model synchronization every round.
+#pragma once
+
+#include "compress/protocol.h"
+
+namespace fedsu::compress {
+
+class FedAvg : public SyncProtocol {
+ public:
+  std::string name() const override { return "FedAvg"; }
+
+  void initialize(std::span<const float> global_state) override;
+
+  SyncResult synchronize(
+      const RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+
+  double last_sparsification_ratio() const override { return 0.0; }
+
+ private:
+  std::size_t state_size_ = 0;
+};
+
+}  // namespace fedsu::compress

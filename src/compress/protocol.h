@@ -1,0 +1,87 @@
+// SyncProtocol: the server-side synchronization contract every scheme
+// (FedAvg, CMFL, APF, FedSU, ...) implements.
+//
+// The simulator is logically centralized: after local training it hands the
+// protocol every participant's full local state vector and receives the new
+// global state plus exact per-client byte counts. Each protocol keeps
+// whatever cross-round state it needs (masks, EMAs, residuals) internally.
+// This mirrors the paper's Algorithm 1 while keeping byte accounting exact —
+// what travels on the wire is decided here, not by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fedsu::compress {
+
+struct RoundContext {
+  int round = 0;  // 0-based FL round index
+  // Ids of the clients whose updates participate in aggregation this round
+  // (the 70 % earliest under the paper's participation model). Parallel to
+  // the `client_states` argument of synchronize().
+  std::vector<int> participants;
+};
+
+struct SyncResult {
+  // The state every participant holds after synchronization.
+  std::vector<float> new_global;
+  // Exact bytes moved per participant (same order as ctx.participants).
+  std::vector<std::size_t> bytes_up;
+  std::vector<std::size_t> bytes_down;
+  // Scalars that crossed the wire in each direction, summed over clients —
+  // used for the sparsification-ratio metric of Fig. 5.
+  std::size_t scalars_up = 0;
+  std::size_t scalars_down = 0;
+};
+
+class SyncProtocol {
+ public:
+  virtual ~SyncProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  // `client_states[i]` is participant i's local state after its local
+  // iterations, starting from the previous round's global state. All spans
+  // have identical length = model state size.
+  virtual SyncResult synchronize(
+      const RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) = 0;
+
+  // Initial global state registration; called once before round 0.
+  virtual void initialize(std::span<const float> global_state) = 0;
+
+  // A new client with the given id joined mid-run (paper §V dynamicity).
+  // Protocols with per-client state extend their bookkeeping here.
+  virtual void on_client_join(int client_id) { (void)client_id; }
+
+  // Extra bytes a late-joining client must download beyond the model itself
+  // (e.g. FedSU's predictability mask + no-check periods, §V dynamicity).
+  virtual std::size_t join_state_bytes() const { return 0; }
+
+  // Resident memory of protocol bookkeeping (Table II memory inflation).
+  virtual std::size_t state_bytes() const { return 0; }
+
+  // Serializes the protocol's cross-round state for checkpoint/restart.
+  // Protocols without state return an empty buffer; restore() of an empty
+  // buffer is a no-op.
+  virtual std::vector<std::uint8_t> snapshot() const { return {}; }
+  virtual void restore(const std::vector<std::uint8_t>& bytes) {
+    if (!bytes.empty()) {
+      throw std::logic_error(name() + ": restore not supported");
+    }
+  }
+
+  // Fraction of model scalars NOT uploaded, averaged over participants, for
+  // the most recent round (the paper's "sparsification ratio").
+  virtual double last_sparsification_ratio() const { return 0.0; }
+};
+
+// Dense mean of the participants' states (the FedAvg aggregation rule);
+// shared by several protocols.
+std::vector<float> average_states(
+    const std::vector<std::span<const float>>& client_states);
+
+}  // namespace fedsu::compress

@@ -1,0 +1,80 @@
+#include "compress/qsgd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::compress {
+
+Qsgd::Qsgd(QsgdOptions options) : options_(options), rng_(options.seed) {
+  if (options_.bits < 1 || options_.bits > 16) {
+    throw std::invalid_argument("Qsgd: bits must be in [1, 16]");
+  }
+}
+
+void Qsgd::initialize(std::span<const float> global_state) {
+  global_.assign(global_state.begin(), global_state.end());
+}
+
+std::vector<float> Qsgd::quantize_dequantize(std::span<const float> v,
+                                             util::Rng& rng) const {
+  // Uniform levels over [-scale, scale] with stochastic rounding; scale is
+  // the max-abs of the vector (sent alongside as one float).
+  float scale = 0.0f;
+  for (float x : v) scale = std::max(scale, std::fabs(x));
+  std::vector<float> out(v.size(), 0.0f);
+  if (scale == 0.0f) return out;
+  const int levels = (1 << (options_.bits - 1)) - 1;  // signed range
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double t = static_cast<double>(v[i]) / scale * levels;  // [-L, L]
+    const double lo = std::floor(t);
+    const double frac = t - lo;
+    const double q = rng.uniform() < frac ? lo + 1.0 : lo;
+    out[i] = static_cast<float>(q / levels * scale);
+  }
+  return out;
+}
+
+SyncResult Qsgd::synchronize(
+    const RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  const std::size_t p = global_.size();
+  const std::size_t n = client_states.size();
+  if (n != ctx.participants.size() || n == 0) {
+    throw std::invalid_argument("Qsgd: participants/state mismatch");
+  }
+  std::vector<double> acc(p, 0.0);
+  std::vector<float> update(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      update[j] = client_states[i][j] - global_[j];
+    }
+    const auto dq = quantize_dequantize(update, rng_);
+    for (std::size_t j = 0; j < p; ++j) acc[j] += dq[j];
+  }
+  std::vector<float> mean_update(p);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < p; ++j) {
+    mean_update[j] = static_cast<float>(acc[j] * inv_n);
+  }
+  // The broadcast is quantized too.
+  const auto broadcast = quantize_dequantize(mean_update, rng_);
+  std::vector<float> new_global = global_;
+  for (std::size_t j = 0; j < p; ++j) new_global[j] += broadcast[j];
+  global_ = new_global;
+
+  SyncResult result;
+  result.new_global = std::move(new_global);
+  const std::size_t bytes = (p * static_cast<std::size_t>(options_.bits)) / 8 +
+                            sizeof(float);  // payload + scale
+  result.bytes_up.assign(n, bytes);
+  result.bytes_down.assign(n, bytes);
+  result.scalars_up = p * n;
+  result.scalars_down = p * n;
+  return result;
+}
+
+std::size_t Qsgd::state_bytes() const {
+  return global_.size() * sizeof(float);
+}
+
+}  // namespace fedsu::compress

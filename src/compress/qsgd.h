@@ -1,0 +1,42 @@
+// QSGD-style stochastic uniform quantization (Alistarh et al., NeurIPS'17),
+// the quantization baseline the paper's related work discusses (§II-B).
+//
+// Each client quantizes its update to `bits` levels per coordinate with
+// stochastic rounding (unbiased); the server averages dequantized updates
+// and broadcasts a quantized global update back.
+#pragma once
+
+#include "compress/protocol.h"
+#include "util/rng.h"
+
+namespace fedsu::compress {
+
+struct QsgdOptions {
+  int bits = 8;  // bits per coordinate on the wire
+  std::uint64_t seed = 77;
+};
+
+class Qsgd : public SyncProtocol {
+ public:
+  explicit Qsgd(QsgdOptions options = {});
+
+  std::string name() const override { return "QSGD"; }
+  void initialize(std::span<const float> global_state) override;
+  SyncResult synchronize(
+      const RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+  std::size_t state_bytes() const override;
+  // Quantization is dense: nothing is skipped, ratio reflects byte shrink.
+  double last_sparsification_ratio() const override { return 0.0; }
+
+  // Quantize/dequantize one vector (exposed for tests).
+  std::vector<float> quantize_dequantize(std::span<const float> v,
+                                         util::Rng& rng) const;
+
+ private:
+  QsgdOptions options_;
+  std::vector<float> global_;
+  util::Rng rng_{0};
+};
+
+}  // namespace fedsu::compress

@@ -1,0 +1,68 @@
+#include "compress/signsgd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::compress {
+
+SignSgd::SignSgd(SignSgdOptions options) : options_(options) {
+  if (options_.step_scale <= 0.0) {
+    throw std::invalid_argument("SignSgd: step_scale <= 0");
+  }
+}
+
+void SignSgd::initialize(std::span<const float> global_state) {
+  global_.assign(global_state.begin(), global_state.end());
+  step_ = 0.0f;
+}
+
+SyncResult SignSgd::synchronize(
+    const RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  const std::size_t p = global_.size();
+  const std::size_t n = client_states.size();
+  if (n != ctx.participants.size() || n == 0) {
+    throw std::invalid_argument("SignSgd: participants/state mismatch");
+  }
+  // Majority vote over update signs; track mean |update| to size the step.
+  std::vector<int> votes(p, 0);
+  double abs_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const float u = client_states[i][j] - global_[j];
+      votes[j] += (u > 0.0f) - (u < 0.0f);
+      abs_sum += std::fabs(u);
+    }
+  }
+  const float mean_abs =
+      static_cast<float>(abs_sum / (static_cast<double>(p) * n));
+  // Adaptive step: EMA of the observed mean magnitude.
+  step_ = step_ == 0.0f ? mean_abs : 0.9f * step_ + 0.1f * mean_abs;
+  const float step = static_cast<float>(options_.step_scale) * step_;
+
+  std::vector<float> new_global = global_;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (votes[j] > 0) {
+      new_global[j] += step;
+    } else if (votes[j] < 0) {
+      new_global[j] -= step;
+    }
+  }
+  global_ = new_global;
+
+  SyncResult result;
+  result.new_global = std::move(new_global);
+  // One sign bit per coordinate each way, plus the scalar step downstream.
+  const std::size_t bytes = p / 8 + 1 + sizeof(float);
+  result.bytes_up.assign(n, bytes);
+  result.bytes_down.assign(n, bytes);
+  result.scalars_up = p * n;
+  result.scalars_down = p * n;
+  return result;
+}
+
+std::size_t SignSgd::state_bytes() const {
+  return global_.size() * sizeof(float) + sizeof(float);
+}
+
+}  // namespace fedsu::compress

@@ -1,0 +1,34 @@
+// signSGD with majority vote (Bernstein et al., ICML'18): clients upload one
+// sign bit per coordinate plus a scalar step size; the server takes the
+// element-wise majority. An extreme-quantization point of comparison for the
+// related-work spectrum (§II-B).
+#pragma once
+
+#include "compress/protocol.h"
+
+namespace fedsu::compress {
+
+struct SignSgdOptions {
+  // Server step applied along the majority sign, as a fraction of the mean
+  // per-round update magnitude observed so far (adaptive scale).
+  double step_scale = 1.0;
+};
+
+class SignSgd : public SyncProtocol {
+ public:
+  explicit SignSgd(SignSgdOptions options = {});
+
+  std::string name() const override { return "signSGD"; }
+  void initialize(std::span<const float> global_state) override;
+  SyncResult synchronize(
+      const RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+  std::size_t state_bytes() const override;
+
+ private:
+  SignSgdOptions options_;
+  std::vector<float> global_;
+  float step_ = 0.0f;  // adaptive per-coordinate step magnitude
+};
+
+}  // namespace fedsu::compress

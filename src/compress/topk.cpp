@@ -1,0 +1,101 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::compress {
+
+TopK::TopK(int num_clients, TopKOptions options)
+    : options_(options), num_clients_(num_clients) {
+  if (num_clients <= 0) throw std::invalid_argument("TopK: num_clients <= 0");
+  if (options_.fraction <= 0.0 || options_.fraction > 1.0) {
+    throw std::invalid_argument("TopK: fraction out of (0, 1]");
+  }
+}
+
+void TopK::initialize(std::span<const float> global_state) {
+  global_.assign(global_state.begin(), global_state.end());
+  residual_.assign(static_cast<std::size_t>(num_clients_),
+                   std::vector<float>(global_.size(), 0.0f));
+}
+
+void TopK::on_client_join(int client_id) {
+  if (client_id != num_clients_) {
+    throw std::invalid_argument("TopK: client ids must be contiguous");
+  }
+  ++num_clients_;
+  residual_.emplace_back(global_.size(), 0.0f);
+}
+
+SyncResult TopK::synchronize(
+    const RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  const std::size_t p = global_.size();
+  const std::size_t n = client_states.size();
+  if (n != ctx.participants.size() || n == 0) {
+    throw std::invalid_argument("TopK: participants/state mismatch");
+  }
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(options_.fraction *
+                                               static_cast<double>(p))));
+
+  std::vector<double> agg(p, 0.0);
+  std::vector<std::uint8_t> touched(p, 0);
+  std::vector<float> compensated(p);
+  std::vector<std::size_t> order(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& res = residual_[static_cast<std::size_t>(ctx.participants[i])];
+    for (std::size_t j = 0; j < p; ++j) {
+      compensated[j] = (client_states[i][j] - global_[j]) + res[j];
+    }
+    // Select the k largest |compensated| coordinates.
+    for (std::size_t j = 0; j < p; ++j) order[j] = j;
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return std::fabs(compensated[a]) >
+                              std::fabs(compensated[b]);
+                     });
+    for (std::size_t r = 0; r < p; ++r) {
+      const std::size_t j = order[r];
+      if (r < k) {
+        agg[j] += compensated[j];
+        touched[j] = 1;
+        res[j] = 0.0f;
+      } else {
+        res[j] = compensated[j];  // remember for the next round
+      }
+    }
+  }
+
+  std::vector<float> new_global = global_;
+  std::size_t union_size = 0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < p; ++j) {
+    if (!touched[j]) continue;
+    ++union_size;
+    new_global[j] = static_cast<float>(global_[j] + agg[j] * inv_n);
+  }
+  global_ = new_global;
+
+  SyncResult result;
+  result.new_global = std::move(new_global);
+  // Sparse payloads carry value + index (4 + 4 bytes per entry).
+  const std::size_t up_bytes = k * 8;
+  const std::size_t down_bytes = union_size * 8;
+  result.bytes_up.assign(n, up_bytes);
+  result.bytes_down.assign(n, down_bytes);
+  result.scalars_up = k * n;
+  result.scalars_down = union_size * n;
+  last_ratio_ =
+      p == 0 ? 0.0 : 1.0 - static_cast<double>(k) / static_cast<double>(p);
+  return result;
+}
+
+std::size_t TopK::state_bytes() const {
+  std::size_t bytes = global_.size() * sizeof(float);
+  if (!residual_.empty()) bytes += residual_[0].size() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace fedsu::compress

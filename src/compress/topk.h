@@ -1,0 +1,41 @@
+// Top-K gradient sparsification with local error memory (classic sparsified
+// SGD, e.g. Stich et al.). Not evaluated in the paper but a standard point
+// of comparison for sparsification-style schemes (§II-B).
+//
+// Each client uploads only the k-fraction of update entries with the largest
+// magnitude; the remainder is kept in a local residual and added to the next
+// round's update. The server averages the sparse contributions; the global
+// model changes only at the union of uploaded coordinates, and only that
+// union is broadcast back.
+#pragma once
+
+#include "compress/protocol.h"
+
+namespace fedsu::compress {
+
+struct TopKOptions {
+  double fraction = 0.1;  // fraction of coordinates uploaded per client
+};
+
+class TopK : public SyncProtocol {
+ public:
+  explicit TopK(int num_clients, TopKOptions options = {});
+
+  std::string name() const override { return "TopK"; }
+  void initialize(std::span<const float> global_state) override;
+  void on_client_join(int client_id) override;
+  SyncResult synchronize(
+      const RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+  std::size_t state_bytes() const override;
+  double last_sparsification_ratio() const override { return last_ratio_; }
+
+ private:
+  TopKOptions options_;
+  int num_clients_;
+  std::vector<float> global_;
+  std::vector<std::vector<float>> residual_;  // per client id
+  double last_ratio_ = 0.0;
+};
+
+}  // namespace fedsu::compress

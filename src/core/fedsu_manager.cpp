@@ -1,0 +1,250 @@
+#include "core/fedsu_manager.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::core {
+
+FedSuManager::FedSuManager(int num_clients, FedSuOptions options)
+    : options_(options), num_clients_(num_clients) {
+  if (num_clients <= 0) {
+    throw std::invalid_argument("FedSuManager: num_clients <= 0");
+  }
+  if (options_.t_r <= 0.0 || options_.t_s <= 0.0) {
+    throw std::invalid_argument("FedSuManager: thresholds must be positive");
+  }
+  if (options_.initial_no_check < 1) {
+    throw std::invalid_argument("FedSuManager: initial_no_check must be >= 1");
+  }
+}
+
+void FedSuManager::initialize(std::span<const float> global_state) {
+  global_.assign(global_state.begin(), global_state.end());
+  const std::size_t p = global_.size();
+  OscillationOptions osc_options;
+  osc_options.ema_decay = options_.ema_decay;
+  osc_options.warmup = options_.warmup;
+  osc_ = OscillationTracker(p, osc_options);
+  predictable_.assign(p, 0);
+  slope_.assign(p, 0.0f);
+  no_check_period_.assign(p, 0);
+  no_check_remaining_.assign(p, 0);
+  client_err_.assign(static_cast<std::size_t>(num_clients_),
+                     std::vector<float>(p, 0.0f));
+  linear_rounds_.assign(p, 0);
+  rounds_seen_ = 0;
+  last_ratio_ = 0.0;
+}
+
+void FedSuManager::on_client_join(int client_id) {
+  if (client_id != num_clients_) {
+    throw std::invalid_argument("FedSuManager: client ids must be contiguous");
+  }
+  ++num_clients_;
+  // The joiner downloads the masks/periods/slopes (join_state_bytes()) and
+  // starts with a clean local error accumulator.
+  client_err_.emplace_back(global_.size(), 0.0f);
+}
+
+compress::SyncResult FedSuManager::synchronize(
+    const compress::RoundContext& ctx,
+    const std::vector<std::span<const float>>& client_states) {
+  const std::size_t p = global_.size();
+  const std::size_t n = client_states.size();
+  if (n != ctx.participants.size() || n == 0) {
+    throw std::invalid_argument("FedSuManager: participants/state mismatch");
+  }
+  for (const auto& s : client_states) {
+    if (s.size() != p) {
+      throw std::invalid_argument("FedSuManager: state size mismatch");
+    }
+  }
+  for (int id : ctx.participants) {
+    if (id < 0 || id >= num_clients_) {
+      throw std::out_of_range("FedSuManager: participant id out of range");
+    }
+  }
+
+  std::vector<float> new_global = global_;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  diag_ = RoundDiagnostics{};
+  std::size_t& unpredictable_count = diag_.unpredictable;
+  std::size_t& expiring_count = diag_.expiring;
+
+  // Pass 1: synchronize unpredictable parameters; speculatively update the
+  // predictable ones and accumulate prediction errors.
+  for (std::size_t j = 0; j < p; ++j) {
+    if (!predictable_[j]) {
+      ++unpredictable_count;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
+      new_global[j] = static_cast<float>(acc * inv_n);
+      continue;
+    }
+    // Speculative update: persist the profiled per-round slope.
+    const float x_spec = global_[j] + slope_[j];
+    new_global[j] = x_spec;
+    ++linear_rounds_[j];
+    // Each participating client logs its local prediction error
+    // e = (local update) - slope = x_local - x_spec.
+    for (std::size_t i = 0; i < n; ++i) {
+      client_err_[static_cast<std::size_t>(
+          ctx.participants[i])][j] += client_states[i][j] - x_spec;
+    }
+    if (--no_check_remaining_[j] <= 0) ++expiring_count;
+  }
+
+  // Pass 2: error feedback for parameters whose no-checking period expired.
+  for (std::size_t j = 0; j < p; ++j) {
+    if (!predictable_[j] || no_check_remaining_[j] > 0) continue;
+    double err_acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err_acc += client_err_[static_cast<std::size_t>(ctx.participants[i])][j];
+    }
+    // The aggregate crosses the wire as float32 (matching the distributed
+    // decomposition in core/distributed.h bit-for-bit).
+    const float mean_err = static_cast<float>(err_acc * inv_n);
+    const double denom = std::fabs(static_cast<double>(slope_[j])) + 1e-8;
+    const double s = std::fabs(static_cast<double>(mean_err)) / denom;
+    if (s < options_.t_s) {
+      // Linear pattern persists: lengthen the no-checking period by one
+      // round (paper §IV-C) and keep speculating. Errors keep accumulating
+      // since Eq. 3 sums from the start of the speculation phase.
+      no_check_period_[j] += 1;
+      no_check_remaining_[j] = no_check_period_[j];
+    } else {
+      // Pattern broke: correct the value with the aggregated error so the
+      // trajectory rejoins the true one, return to regular updating and
+      // restart linearity diagnosis from scratch.
+      predictable_[j] = 0;
+      no_check_period_[j] = 0;
+      no_check_remaining_[j] = 0;
+      new_global[j] = static_cast<float>(new_global[j] + mean_err);
+      for (auto& err : client_err_) err[j] = 0.0f;
+      if (options_.reset_on_demote) osc_.reset(j);
+      ++diag_.demotions;
+      emit(SpecEvent{ctx.round, j, /*start=*/false});
+    }
+  }
+
+  // Pass 3: refresh linearity diagnosis for parameters synchronized
+  // normally this round, possibly promoting them into speculative mode.
+  for (std::size_t j = 0; j < p; ++j) {
+    if (predictable_[j]) continue;
+    const float g_new = new_global[j] - global_[j];
+    const double r = osc_.observe(j, g_new);
+    if (osc_.ready(j) && r < options_.t_r) {
+      predictable_[j] = 1;
+      slope_[j] = g_new;  // "use the update of the last round" (§IV-B)
+      no_check_period_[j] = options_.initial_no_check;
+      no_check_remaining_[j] = options_.initial_no_check;
+      for (auto& err : client_err_) err[j] = 0.0f;
+      ++diag_.promotions;
+      emit(SpecEvent{ctx.round, j, /*start=*/true});
+    }
+  }
+
+  global_ = new_global;
+  ++rounds_seen_;
+
+  compress::SyncResult result;
+  result.new_global = std::move(new_global);
+  // Wire accounting: unpredictable values travel both ways; expiring
+  // parameters add one error scalar per direction (upload local error,
+  // download the aggregated verdict/correction). Masks and periods are
+  // derived locally on every client and cost nothing (§V).
+  const std::size_t per_client_scalars = unpredictable_count + expiring_count;
+  const std::size_t bytes = per_client_scalars * sizeof(float);
+  result.bytes_up.assign(n, bytes);
+  result.bytes_down.assign(n, bytes);
+  result.scalars_up = per_client_scalars * n;
+  result.scalars_down = per_client_scalars * n;
+  last_ratio_ = p == 0 ? 0.0
+                       : 1.0 - static_cast<double>(per_client_scalars) /
+                                   static_cast<double>(p);
+  return result;
+}
+
+std::size_t FedSuManager::join_state_bytes() const {
+  // Mask (1 bit/param, sent packed) + no-checking periods + slopes.
+  return predictable_.size() / 8 + 1 +
+         no_check_period_.size() * sizeof(std::int32_t) +
+         slope_.size() * sizeof(float);
+}
+
+std::size_t FedSuManager::state_bytes() const {
+  // Extra resident memory FedSU adds on a device. Excluded: `global_` (the
+  // client's own model copy, present with or without FedSU) and
+  // `linear_rounds_` (bench instrumentation only).
+  std::size_t bytes = osc_.state_bytes() +
+                      predictable_.size() * sizeof(std::uint8_t) +
+                      slope_.size() * sizeof(float) +
+                      no_check_period_.size() * sizeof(std::int32_t) +
+                      no_check_remaining_.size() * sizeof(std::int32_t);
+  // Per-client error accumulator: on a real device each client stores one.
+  if (!client_err_.empty()) bytes += client_err_[0].size() * sizeof(float);
+  return bytes;
+}
+
+namespace {
+constexpr std::uint32_t kFedSuSnapshotMagic = 0xFED50001;
+}  // namespace
+
+std::vector<std::uint8_t> FedSuManager::snapshot() const {
+  io::BinaryWriter writer;
+  writer.write_magic(kFedSuSnapshotMagic);
+  writer.write_i32(num_clients_);
+  writer.write_i32(rounds_seen_);
+  writer.write_f64(last_ratio_);
+  writer.write_vector(global_);
+  osc_.serialize(writer);
+  writer.write_vector(predictable_);
+  writer.write_vector(slope_);
+  writer.write_vector(no_check_period_);
+  writer.write_vector(no_check_remaining_);
+  writer.write_vector(linear_rounds_);
+  writer.write_u64(client_err_.size());
+  for (const auto& err : client_err_) writer.write_vector(err);
+  return writer.take();
+}
+
+void FedSuManager::restore(const std::vector<std::uint8_t>& bytes) {
+  io::BinaryReader reader(bytes);
+  reader.expect_magic(kFedSuSnapshotMagic, "FedSuManager snapshot");
+  num_clients_ = reader.read_i32();
+  rounds_seen_ = reader.read_i32();
+  last_ratio_ = reader.read_f64();
+  global_ = reader.read_vector<float>();
+  osc_.deserialize(reader);
+  predictable_ = reader.read_vector<std::uint8_t>();
+  slope_ = reader.read_vector<float>();
+  no_check_period_ = reader.read_vector<std::int32_t>();
+  no_check_remaining_ = reader.read_vector<std::int32_t>();
+  linear_rounds_ = reader.read_vector<std::int32_t>();
+  const std::uint64_t clients = reader.read_u64();
+  client_err_.clear();
+  for (std::uint64_t i = 0; i < clients; ++i) {
+    client_err_.push_back(reader.read_vector<float>());
+  }
+  const std::size_t p = global_.size();
+  if (predictable_.size() != p || slope_.size() != p ||
+      no_check_period_.size() != p || no_check_remaining_.size() != p ||
+      linear_rounds_.size() != p || osc_.size() != p ||
+      client_err_.size() != static_cast<std::size_t>(num_clients_)) {
+    throw std::runtime_error("FedSuManager: inconsistent snapshot");
+  }
+  for (const auto& err : client_err_) {
+    if (err.size() != p) {
+      throw std::runtime_error("FedSuManager: inconsistent snapshot (errors)");
+    }
+  }
+}
+
+double FedSuManager::predictable_fraction() const {
+  if (predictable_.empty()) return 0.0;
+  std::size_t count = 0;
+  for (auto m : predictable_) count += m;
+  return static_cast<double>(count) / static_cast<double>(predictable_.size());
+}
+
+}  // namespace fedsu::core

@@ -1,0 +1,121 @@
+// FedSU — Federated Learning with Speculative Updating (paper Algorithm 1).
+//
+// Per round the manager partitions the model's scalars into:
+//   * unpredictable parameters: synchronized normally (mean of client
+//     values); their fresh global update feeds the OscillationTracker and,
+//     when the ratio R drops below T_R, the parameter enters speculative
+//     mode with the last round's update frozen as its slope;
+//   * predictable parameters: NOT synchronized. Every client applies the
+//     speculative value x + slope and accumulates its local prediction
+//     error. When a parameter's no-checking period expires, the errors are
+//     aggregated; the feedback signal S = |sum e| / |slope| (Eq. 3) decides
+//     whether to extend the period (+1 round) or to end speculation —
+//     applying the aggregated error as a correction so the trajectory
+//     rejoins the true one (Fig. 6's red crosses).
+//
+// Masks and periods are derived purely from globally-identical quantities,
+// so every client can maintain its own replica without extra communication
+// (paper §V); a late joiner only downloads mask + periods + slopes once
+// (join_state_bytes()).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "compress/protocol.h"
+#include "core/oscillation.h"
+
+namespace fedsu::core {
+
+struct FedSuOptions {
+  double t_r = 0.01;        // predictability threshold T_R (paper §VI-A)
+  double t_s = 1.0;         // error-feedback threshold T_S (paper §VI-A)
+  double ema_decay = 0.9;   // theta of Eq. 2 ("close to 1", paper §IV-A)
+  int warmup = 3;           // R observations before speculation may start
+  int initial_no_check = 1; // first no-checking period, in rounds
+  // When a speculation phase fails its S check, optionally wipe the
+  // parameter's oscillation statistics. The paper's trajectories (Fig. 6)
+  // show speculation re-starting shortly after a red-cross ending, which
+  // requires the diagnosis state to survive demotion; resetting instead
+  // forces a full re-warmup and collapses the steady-state sparsification
+  // ratio under noisy (few-iteration) rounds. Kept as an ablation knob.
+  bool reset_on_demote = false;
+};
+
+// Emitted when a parameter enters/leaves speculative mode (Fig. 6 markers).
+struct SpecEvent {
+  int round = 0;
+  std::size_t param = 0;
+  bool start = false;  // true: speculation begins; false: it ends
+};
+
+class FedSuManager : public compress::SyncProtocol {
+ public:
+  // `num_clients` is the total population (error accumulators are kept per
+  // client id; participants vary per round).
+  FedSuManager(int num_clients, FedSuOptions options = {});
+
+  std::string name() const override { return "FedSU"; }
+
+  void initialize(std::span<const float> global_state) override;
+
+  void on_client_join(int client_id) override;
+
+  compress::SyncResult synchronize(
+      const compress::RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+
+  std::size_t join_state_bytes() const override;
+  std::size_t state_bytes() const override;
+  std::vector<std::uint8_t> snapshot() const override;
+  void restore(const std::vector<std::uint8_t>& bytes) override;
+  double last_sparsification_ratio() const override { return last_ratio_; }
+
+  // Per-round accounting exposed for diagnosis and the bench harness.
+  struct RoundDiagnostics {
+    std::size_t unpredictable = 0;  // scalars synchronized normally
+    std::size_t expiring = 0;       // error scalars aggregated this round
+    std::size_t promotions = 0;
+    std::size_t demotions = 0;
+  };
+
+  // --- introspection (tests, Fig. 6 / Fig. 7 benches) ---
+  const RoundDiagnostics& last_round_diagnostics() const { return diag_; }
+  const std::vector<std::uint8_t>& predictable_mask() const {
+    return predictable_;
+  }
+  double predictable_fraction() const;
+  // Rounds each parameter spent in speculative mode so far.
+  const std::vector<std::int32_t>& linear_rounds() const {
+    return linear_rounds_;
+  }
+  int rounds_seen() const { return rounds_seen_; }
+  const FedSuOptions& options() const { return options_; }
+
+  void set_event_hook(std::function<void(const SpecEvent&)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
+ private:
+  void emit(const SpecEvent& event) {
+    if (event_hook_) event_hook_(event);
+  }
+
+  FedSuOptions options_;
+  int num_clients_;
+  std::vector<float> global_;
+  OscillationTracker osc_{0};
+  std::vector<std::uint8_t> predictable_;
+  std::vector<float> slope_;
+  std::vector<std::int32_t> no_check_period_;
+  std::vector<std::int32_t> no_check_remaining_;
+  // client_err_[client_id][j]: accumulated local prediction error.
+  std::vector<std::vector<float>> client_err_;
+  std::vector<std::int32_t> linear_rounds_;
+  RoundDiagnostics diag_;
+  int rounds_seen_ = 0;
+  double last_ratio_ = 0.0;
+  std::function<void(const SpecEvent&)> event_hook_;
+};
+
+}  // namespace fedsu::core

@@ -1,0 +1,83 @@
+// Ablation variants of FedSU (paper §VI-D, Fig. 8).
+//
+//   FedSU-v1: keeps the linearity diagnosis but removes error feedback —
+//             a diagnosed-linear parameter speculates for a FIXED number of
+//             rounds, then silently returns to regular updating (no error
+//             aggregation, no correction).
+//   FedSU-v2: removes the linearity diagnosis too — every synchronized
+//             parameter enters speculative mode with a preset probability,
+//             using the last observed update as its slope, again for a
+//             fixed period.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compress/protocol.h"
+#include "core/oscillation.h"
+#include "util/rng.h"
+
+namespace fedsu::core {
+
+struct FedSuV1Options {
+  double t_r = 0.01;
+  double ema_decay = 0.98;
+  int warmup = 3;
+  int fixed_period = 43;  // paper Fig. 8: 43 (CNN) / 58 (DenseNet)
+};
+
+class FedSuV1 : public compress::SyncProtocol {
+ public:
+  explicit FedSuV1(FedSuV1Options options = {});
+
+  std::string name() const override { return "FedSU-v1"; }
+  void initialize(std::span<const float> global_state) override;
+  compress::SyncResult synchronize(
+      const compress::RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+  std::size_t state_bytes() const override;
+  double last_sparsification_ratio() const override { return last_ratio_; }
+  double predictable_fraction() const;
+
+ private:
+  FedSuV1Options options_;
+  std::vector<float> global_;
+  OscillationTracker osc_{0};
+  std::vector<std::uint8_t> predictable_;
+  std::vector<float> slope_;
+  std::vector<std::int32_t> remaining_;
+  double last_ratio_ = 0.0;
+};
+
+struct FedSuV2Options {
+  double enter_probability = 0.0053;  // paper Fig. 8: 0.53 % (CNN)
+  int fixed_period = 43;
+  std::uint64_t seed = 1234;
+};
+
+class FedSuV2 : public compress::SyncProtocol {
+ public:
+  explicit FedSuV2(FedSuV2Options options = {});
+
+  std::string name() const override { return "FedSU-v2"; }
+  void initialize(std::span<const float> global_state) override;
+  compress::SyncResult synchronize(
+      const compress::RoundContext& ctx,
+      const std::vector<std::span<const float>>& client_states) override;
+  std::size_t state_bytes() const override;
+  double last_sparsification_ratio() const override { return last_ratio_; }
+  double predictable_fraction() const;
+
+ private:
+  FedSuV2Options options_;
+  std::vector<float> global_;
+  std::vector<float> prev_update_;
+  bool has_prev_update_ = false;
+  std::vector<std::uint8_t> predictable_;
+  std::vector<float> slope_;
+  std::vector<std::int32_t> remaining_;
+  util::Rng rng_{0};
+  double last_ratio_ = 0.0;
+};
+
+}  // namespace fedsu::core

@@ -1,0 +1,93 @@
+#include "core/regression.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedsu::core {
+
+RegressionDiagnoser::RegressionDiagnoser(std::size_t num_params,
+                                         RegressionOptions options)
+    : options_(options), num_params_(num_params) {
+  if (options_.window < 3) {
+    throw std::invalid_argument("RegressionDiagnoser: window must be >= 3");
+  }
+  history_.assign(num_params_ * static_cast<std::size_t>(options_.window),
+                  0.0f);
+  count_.assign(num_params_, 0);
+  head_.assign(num_params_, 0);
+}
+
+void RegressionDiagnoser::observe(std::size_t j, float value) {
+  if (j >= num_params_) throw std::out_of_range("RegressionDiagnoser::observe");
+  const int k = options_.window;
+  history_[j * static_cast<std::size_t>(k) +
+           static_cast<std::size_t>(head_[j])] = value;
+  head_[j] = (head_[j] + 1) % k;
+  if (count_[j] < k) ++count_[j];
+}
+
+bool RegressionDiagnoser::ready(std::size_t j) const {
+  if (j >= num_params_) throw std::out_of_range("RegressionDiagnoser::ready");
+  return count_[j] >= options_.window;
+}
+
+double RegressionDiagnoser::normalized_residual(std::size_t j) const {
+  if (!ready(j)) return std::numeric_limits<double>::max();
+  const int k = options_.window;
+  // Reconstruct chronological order from the ring buffer and fit
+  // y = a + b * t with ordinary least squares.
+  double sum_t = 0.0, sum_y = 0.0, sum_tt = 0.0, sum_ty = 0.0;
+  for (int t = 0; t < k; ++t) {
+    const int idx = (head_[j] + t) % k;  // oldest first
+    const double y =
+        history_[j * static_cast<std::size_t>(k) + static_cast<std::size_t>(idx)];
+    sum_t += t;
+    sum_y += y;
+    sum_tt += static_cast<double>(t) * t;
+    sum_ty += t * y;
+  }
+  const double n = k;
+  const double denom = n * sum_tt - sum_t * sum_t;
+  const double b = denom != 0.0 ? (n * sum_ty - sum_t * sum_y) / denom : 0.0;
+  const double a = (sum_y - b * sum_t) / n;
+  double rss = 0.0;
+  for (int t = 0; t < k; ++t) {
+    const int idx = (head_[j] + t) % k;
+    const double y =
+        history_[j * static_cast<std::size_t>(k) + static_cast<std::size_t>(idx)];
+    const double r = y - (a + b * t);
+    rss += r * r;
+  }
+  const double rms = std::sqrt(rss / n);
+  return rms / (std::fabs(b) + 1e-12);
+}
+
+bool RegressionDiagnoser::is_linear(std::size_t j) const {
+  return ready(j) && normalized_residual(j) < options_.residual_threshold;
+}
+
+double RegressionDiagnoser::slope(std::size_t j) const {
+  if (!ready(j)) return 0.0;
+  const int k = options_.window;
+  double sum_t = 0.0, sum_y = 0.0, sum_tt = 0.0, sum_ty = 0.0;
+  for (int t = 0; t < k; ++t) {
+    const int idx = (head_[j] + t) % k;
+    const double y =
+        history_[j * static_cast<std::size_t>(k) + static_cast<std::size_t>(idx)];
+    sum_t += t;
+    sum_y += y;
+    sum_tt += static_cast<double>(t) * t;
+    sum_ty += t * y;
+  }
+  const double n = k;
+  const double denom = n * sum_tt - sum_t * sum_t;
+  return denom != 0.0 ? (n * sum_ty - sum_t * sum_y) / denom : 0.0;
+}
+
+std::size_t RegressionDiagnoser::state_bytes() const {
+  return history_.size() * sizeof(float) + count_.size() * sizeof(int) +
+         head_.size() * sizeof(int);
+}
+
+}  // namespace fedsu::core

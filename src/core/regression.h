@@ -1,0 +1,48 @@
+// Window-based least-squares linearity diagnosis — the baseline FedSU's
+// §IV-A argues against. Kept for the diagnosis-quality ablation bench: it
+// needs O(K) state per parameter and O(K) work per refresh, versus the
+// O(1) / O(1) of the second-order oscillation ratio.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedsu::core {
+
+struct RegressionOptions {
+  int window = 8;             // K historical values retained
+  double residual_threshold = 0.05;  // normalized RMS residual for "linear"
+};
+
+class RegressionDiagnoser {
+ public:
+  RegressionDiagnoser(std::size_t num_params, RegressionOptions options = {});
+
+  // Appends the newest post-synchronization value of parameter j.
+  void observe(std::size_t j, float value);
+
+  // True once the window is full.
+  bool ready(std::size_t j) const;
+
+  // Least-squares fit over the window; returns the RMS residual normalized
+  // by the fitted per-round slope magnitude (0 = perfectly linear). Returns
+  // a large sentinel when not ready.
+  double normalized_residual(std::size_t j) const;
+
+  bool is_linear(std::size_t j) const;
+
+  // Fitted slope of the window (per-round update estimate).
+  double slope(std::size_t j) const;
+
+  std::size_t state_bytes() const;
+
+ private:
+  RegressionOptions options_;
+  std::size_t num_params_;
+  // Ring buffers, window-per-parameter.
+  std::vector<float> history_;      // [num_params * window]
+  std::vector<int> count_;          // values seen per parameter
+  std::vector<int> head_;           // ring cursor per parameter
+};
+
+}  // namespace fedsu::core

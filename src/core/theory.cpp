@@ -1,0 +1,36 @@
+#include "core/theory.h"
+
+#include <stdexcept>
+
+namespace fedsu::core {
+
+TheoremBound theorem1_bound(const TheoryParams& params,
+                            const nn::LrSchedule& schedule, int rounds) {
+  if (rounds <= 0) throw std::invalid_argument("theorem1_bound: rounds <= 0");
+  if (params.beta <= 0.0 || params.sigma2 < 0.0 || params.t_s < 0.0) {
+    throw std::invalid_argument("theorem1_bound: bad parameters");
+  }
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  for (int k = 0; k < rounds; ++k) {
+    const double lr = schedule.lr(k);
+    sum += lr;
+    sum2 += lr * lr;
+    sum3 += lr * lr * lr;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("theorem1_bound: zero lr sum");
+  TheoremBound bound;
+  bound.optimality_term = 4.0 * params.initial_gap / sum;
+  bound.speculation_term = 4.0 * params.sigma2 * params.beta * params.beta *
+                           params.t_s * params.t_s * sum3 / sum;
+  bound.variance_term = 2.0 * params.sigma2 * params.beta * sum2 / sum;
+  return bound;
+}
+
+double eq7_deviation_bound(double lr, double t_s, double sigma2) {
+  if (lr < 0.0 || t_s < 0.0 || sigma2 < 0.0) {
+    throw std::invalid_argument("eq7_deviation_bound: negative input");
+  }
+  return lr * lr * t_s * t_s * sigma2;
+}
+
+}  // namespace fedsu::core

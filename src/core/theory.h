@@ -1,0 +1,46 @@
+// Convergence-analysis helpers (paper §IV-D, Theorem 1).
+//
+// Theorem 1 bounds the averaged squared gradient norm after T rounds by
+//
+//   4 (F(x0) - F*) / sum(lr)
+//   + 4 sigma^2 beta^2 T_S^2 * sum(lr^3) / sum(lr)
+//   + 2 sigma^2 beta      * sum(lr^2) / sum(lr)
+//
+// under the beta-smoothness and sigma-bounded-gradient assumptions, where
+// the middle term is exactly the price of speculation (it vanishes as
+// T_S -> 0, recovering the plain SGD bound). These helpers evaluate the
+// bound for a given schedule so benches can show (a) the bound shrinking as
+// T grows for Eq. 13 schedules and (b) how T_S trades bound tightness for
+// communication — the theory mirror of Fig. 10.
+#pragma once
+
+#include "nn/schedule.h"
+
+namespace fedsu::core {
+
+struct TheoryParams {
+  double initial_gap = 1.0;  // F(x0) - F(x*)
+  double beta = 1.0;         // smoothness constant (Assumption 1)
+  double sigma2 = 1.0;       // gradient bound sigma^2 (Assumption 2)
+  double t_s = 1.0;          // error-feedback threshold T_S
+};
+
+struct TheoremBound {
+  double optimality_term = 0.0;   // 4 gap / sum(lr)
+  double speculation_term = 0.0;  // 4 sigma^2 beta^2 T_S^2 sum(lr^3)/sum(lr)
+  double variance_term = 0.0;     // 2 sigma^2 beta sum(lr^2)/sum(lr)
+  double total() const {
+    return optimality_term + speculation_term + variance_term;
+  }
+};
+
+// Evaluates the Theorem 1 right-hand side over `rounds` of the schedule.
+TheoremBound theorem1_bound(const TheoryParams& params,
+                            const nn::LrSchedule& schedule, int rounds);
+
+// The per-round model-deviation bound of Eq. 7: ||x_k - x_tilde_k||^2 is at
+// most lr^2 T_S^2 sigma^2. Benches verify the measured deviation of the
+// FedSU run stays under it.
+double eq7_deviation_bound(double lr, double t_s, double sigma2);
+
+}  // namespace fedsu::core

@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsu::data {
+
+Dataset::Dataset(tensor::Tensor images, std::vector<int> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+  if (images_.rank() != 4) {
+    throw std::invalid_argument("Dataset: images must be [N, C, H, W]");
+  }
+  if (static_cast<std::size_t>(images_.dim(0)) != labels_.size()) {
+    throw std::invalid_argument("Dataset: image/label count mismatch");
+  }
+  for (int y : labels_) {
+    if (y < 0) throw std::invalid_argument("Dataset: negative label");
+    num_classes_ = std::max(num_classes_, y + 1);
+  }
+}
+
+void Dataset::gather(const std::vector<std::size_t>& indices,
+                     tensor::Tensor& batch, std::vector<int>& labels) const {
+  const std::size_t sample =
+      static_cast<std::size_t>(channels()) * height() * width();
+  batch = tensor::Tensor(
+      {static_cast<int>(indices.size()), channels(), height(), width()});
+  labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= size()) throw std::out_of_range("Dataset::gather: bad index");
+    std::memcpy(batch.data() + i * sample, images_.data() + src * sample,
+                sizeof(float) * sample);
+    labels[i] = labels_[src];
+  }
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  tensor::Tensor batch;
+  std::vector<int> labels;
+  gather(indices, batch, labels);
+  return Dataset(std::move(batch), std::move(labels));
+}
+
+std::vector<int> Dataset::class_histogram() const {
+  std::vector<int> hist(static_cast<std::size_t>(num_classes_), 0);
+  for (int y : labels_) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+}  // namespace fedsu::data

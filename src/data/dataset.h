@@ -1,0 +1,42 @@
+// In-memory labeled image dataset (NCHW).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedsu::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  // images: [N, C, H, W]; labels: N entries.
+  Dataset(tensor::Tensor images, std::vector<int> labels);
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  int channels() const { return images_.empty() ? 0 : images_.dim(1); }
+  int height() const { return images_.empty() ? 0 : images_.dim(2); }
+  int width() const { return images_.empty() ? 0 : images_.dim(3); }
+  int num_classes() const { return num_classes_; }
+
+  const tensor::Tensor& images() const { return images_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  // Copies the selected samples into a batch tensor + label vector.
+  void gather(const std::vector<std::size_t>& indices, tensor::Tensor& batch,
+              std::vector<int>& labels) const;
+
+  // New dataset containing only the given samples.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  // Per-class sample counts (length num_classes()).
+  std::vector<int> class_histogram() const;
+
+ private:
+  tensor::Tensor images_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fedsu::data

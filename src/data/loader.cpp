@@ -1,0 +1,33 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsu::data {
+
+BatchLoader::BatchLoader(const Dataset& dataset, int batch_size, util::Rng rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  if (batch_size <= 0) throw std::invalid_argument("BatchLoader: batch <= 0");
+  if (dataset.empty()) throw std::invalid_argument("BatchLoader: empty dataset");
+  reshuffle();
+}
+
+void BatchLoader::reshuffle() {
+  order_ = rng_.permutation(dataset_.size());
+  cursor_ = 0;
+}
+
+void BatchLoader::next(tensor::Tensor& batch, std::vector<int>& labels) {
+  if (cursor_ >= order_.size()) {
+    ++epochs_;
+    reshuffle();
+  }
+  const std::size_t take =
+      std::min(static_cast<std::size_t>(batch_size_), order_.size() - cursor_);
+  std::vector<std::size_t> indices(order_.begin() + cursor_,
+                                   order_.begin() + cursor_ + take);
+  cursor_ += take;
+  dataset_.gather(indices, batch, labels);
+}
+
+}  // namespace fedsu::data

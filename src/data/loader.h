@@ -1,0 +1,35 @@
+// Shuffling mini-batch loader over a Dataset.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fedsu::data {
+
+class BatchLoader {
+ public:
+  // `dataset` must outlive the loader. Batches wrap around epoch boundaries
+  // (reshuffling each epoch) so callers can just ask for the next batch.
+  BatchLoader(const Dataset& dataset, int batch_size, util::Rng rng);
+
+  // Fills `batch`/`labels` with the next mini-batch. The final batch of an
+  // epoch may be smaller when the dataset size is not divisible.
+  void next(tensor::Tensor& batch, std::vector<int>& labels);
+
+  int batch_size() const { return batch_size_; }
+  std::size_t epochs_completed() const { return epochs_; }
+
+ private:
+  void reshuffle();
+
+  const Dataset& dataset_;
+  int batch_size_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace fedsu::data

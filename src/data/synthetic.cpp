@@ -1,0 +1,144 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace fedsu::data {
+
+SyntheticSpec synthetic_preset(const std::string& dataset) {
+  SyntheticSpec spec;
+  spec.name = dataset;
+  if (dataset == "emnist" || dataset == "fmnist") {
+    spec.channels = 1;
+    spec.image_size = 28;
+  } else if (dataset == "cifar") {
+    spec.channels = 3;
+    spec.image_size = 32;
+    spec.noise = 0.55f;
+  } else {
+    throw std::invalid_argument("synthetic_preset: unknown dataset '" +
+                                dataset + "'");
+  }
+  return spec;
+}
+
+namespace {
+
+// A class prototype: per channel, a sum of low-frequency cosine waves plus a
+// few Gaussian blobs. Smoothness matters: it makes small translations a
+// "benign" augmentation rather than label-destroying noise.
+std::vector<float> make_prototype(const SyntheticSpec& spec, util::Rng& rng) {
+  const int s = spec.image_size;
+  const int c = spec.channels;
+  std::vector<float> proto(static_cast<std::size_t>(c) * s * s, 0.0f);
+  for (int ch = 0; ch < c; ++ch) {
+    float* plane = proto.data() + static_cast<std::size_t>(ch) * s * s;
+    // Low-frequency cosine mixture.
+    const int waves = 3;
+    for (int wv = 0; wv < waves; ++wv) {
+      const double fx = rng.uniform(0.5, 2.5) * 2.0 * std::numbers::pi / s;
+      const double fy = rng.uniform(0.5, 2.5) * 2.0 * std::numbers::pi / s;
+      const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double amp = rng.uniform(0.4, 1.0);
+      for (int r = 0; r < s; ++r) {
+        for (int col = 0; col < s; ++col) {
+          plane[static_cast<std::size_t>(r) * s + col] +=
+              static_cast<float>(amp * std::cos(fx * col + fy * r + phase));
+        }
+      }
+    }
+    // Gaussian blobs.
+    const int blobs = 2;
+    for (int b = 0; b < blobs; ++b) {
+      const double cx = rng.uniform(0.2, 0.8) * s;
+      const double cy = rng.uniform(0.2, 0.8) * s;
+      const double sigma = rng.uniform(0.1, 0.25) * s;
+      const double amp = rng.uniform(-1.5, 1.5);
+      for (int r = 0; r < s; ++r) {
+        for (int col = 0; col < s; ++col) {
+          const double d2 = (col - cx) * (col - cx) + (r - cy) * (r - cy);
+          plane[static_cast<std::size_t>(r) * s + col] +=
+              static_cast<float>(amp * std::exp(-d2 / (2.0 * sigma * sigma)));
+        }
+      }
+    }
+  }
+  return proto;
+}
+
+// Bilinear sample of the prototype with sub-pixel translation.
+float sample_shifted(const float* plane, int s, double r, double c) {
+  const int r0 = static_cast<int>(std::floor(r));
+  const int c0 = static_cast<int>(std::floor(c));
+  const double fr = r - r0;
+  const double fc = c - c0;
+  auto at = [&](int rr, int cc) -> double {
+    if (rr < 0) rr = 0;
+    if (rr >= s) rr = s - 1;
+    if (cc < 0) cc = 0;
+    if (cc >= s) cc = s - 1;
+    return plane[static_cast<std::size_t>(rr) * s + cc];
+  };
+  return static_cast<float>((1 - fr) * ((1 - fc) * at(r0, c0) + fc * at(r0, c0 + 1)) +
+                            fr * ((1 - fc) * at(r0 + 1, c0) + fc * at(r0 + 1, c0 + 1)));
+}
+
+Dataset generate_split(const SyntheticSpec& spec,
+                       const std::vector<std::vector<float>>& prototypes,
+                       int count, util::Rng& rng) {
+  const int s = spec.image_size;
+  const int c = spec.channels;
+  tensor::Tensor images({count, c, s, s});
+  std::vector<int> labels(static_cast<std::size_t>(count));
+  const double max_shift = spec.shift_fraction * s;
+  for (int i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+    int label = cls;
+    if (spec.label_noise > 0.0f && rng.bernoulli(spec.label_noise)) {
+      label = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+    }
+    labels[static_cast<std::size_t>(i)] = label;
+    const double dr = rng.uniform(-max_shift, max_shift);
+    const double dc = rng.uniform(-max_shift, max_shift);
+    const double contrast = rng.uniform(0.85, 1.15);
+    const double brightness = rng.uniform(-0.1, 0.1);
+    const std::vector<float>& proto = prototypes[static_cast<std::size_t>(cls)];
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = proto.data() + static_cast<std::size_t>(ch) * s * s;
+      for (int r = 0; r < s; ++r) {
+        for (int col = 0; col < s; ++col) {
+          const float base = sample_shifted(plane, s, r + dr, col + dc);
+          images.at(i, ch, r, col) = static_cast<float>(
+              contrast * base + brightness + spec.noise * rng.normal());
+        }
+      }
+    }
+  }
+  return Dataset(std::move(images), std::move(labels));
+}
+
+}  // namespace
+
+TrainTest generate_synthetic(const SyntheticSpec& spec) {
+  if (spec.num_classes <= 1 || spec.image_size <= 0 || spec.channels <= 0 ||
+      spec.train_count <= 0 || spec.test_count <= 0) {
+    throw std::invalid_argument("generate_synthetic: bad spec");
+  }
+  util::Rng proto_rng(spec.seed);
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (int i = 0; i < spec.num_classes; ++i) {
+    prototypes.push_back(make_prototype(spec, proto_rng));
+  }
+  util::Rng train_rng = proto_rng.fork(1);
+  util::Rng test_rng = proto_rng.fork(2);
+  TrainTest out{generate_split(spec, prototypes, spec.train_count, train_rng),
+                generate_split(spec, prototypes, spec.test_count, test_rng)};
+  return out;
+}
+
+}  // namespace fedsu::data

@@ -1,0 +1,57 @@
+// FL client: local SGD over a private shard.
+//
+// To keep the single-core simulator lean, clients do not own model replicas;
+// the simulation owns one scratch model and lends it to each client for its
+// local iterations (load global state -> train -> extract state). This is
+// numerically identical to per-client replicas under sequential execution.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/loader.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace fedsu::fl {
+
+struct LocalTrainOptions {
+  int iterations = 10;  // F_s in Algorithm 1 (paper runs 50)
+  int batch_size = 16;
+  float learning_rate = 0.01f;
+  float weight_decay = 1e-3f;
+  float momentum = 0.0f;
+  // FedProx proximal coefficient mu (Li et al., MLSys'20): adds
+  // mu * (x - x_global) to each local gradient, damping client drift under
+  // non-IID data. 0 disables. The paper notes FedSU composes with such
+  // accuracy-oriented methods (§VI-A footnote 3).
+  float proximal_mu = 0.0f;
+};
+
+class Client {
+ public:
+  // `shard` is copied into client-local storage (the private dataset).
+  Client(int id, data::Dataset shard, int batch_size, util::Rng rng);
+
+  int id() const { return id_; }
+  std::size_t dataset_size() const { return shard_.size(); }
+  const data::Dataset& shard() const { return shard_; }
+
+  // Runs `options.iterations` local SGD steps on `model`, which must
+  // already hold the current global state. Returns the mean training loss.
+  float train_round(nn::Model& model, const LocalTrainOptions& options);
+
+ private:
+  void apply_proximal_term(nn::Model& model,
+                           const std::vector<float>& anchor,
+                           float mu) const;
+
+ private:
+  int id_;
+  data::Dataset shard_;
+  data::BatchLoader loader_;
+};
+
+}  // namespace fedsu::fl

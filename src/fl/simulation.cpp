@@ -1,0 +1,295 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/round_timeline.h"
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace fedsu::fl {
+
+Simulation::Simulation(SimulationOptions options,
+                       std::unique_ptr<compress::SyncProtocol> protocol)
+    : options_(std::move(options)),
+      protocol_(std::move(protocol)),
+      data_(data::generate_synthetic(options_.dataset)),
+      scratch_model_(nn::build_model(options_.model, util::Rng(options_.seed))),
+      network_(options_.num_clients, options_.network) {
+  if (!protocol_) throw std::invalid_argument("Simulation: null protocol");
+  if (options_.num_clients <= 0) {
+    throw std::invalid_argument("Simulation: num_clients <= 0");
+  }
+  if (options_.participation_fraction <= 0.0 ||
+      options_.participation_fraction > 1.0) {
+    throw std::invalid_argument("Simulation: participation fraction out of (0,1]");
+  }
+
+  // Partition the training data across clients (Dirichlet label skew).
+  data::PartitionOptions part;
+  part.num_clients = options_.num_clients;
+  part.alpha = options_.dirichlet_alpha;
+  part.seed = options_.seed ^ 0x5bd1e995;
+  const auto shards = data::dirichlet_partition(data_.train, part);
+
+  util::Rng client_rng(options_.seed ^ 0x2545f491);
+  clients_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    clients_.push_back(std::make_unique<Client>(
+        static_cast<int>(i), data_.train.subset(shards[i]),
+        options_.local.batch_size, client_rng.fork(i)));
+  }
+  active_.assign(clients_.size(), true);
+
+  global_ = scratch_model_.state_vector();
+  protocol_->initialize(global_);
+  last_mean_payload_bytes_ = static_cast<double>(global_.size()) * sizeof(float);
+}
+
+double Simulation::model_flops_per_round() const {
+  // Forward + backward is roughly 3x a forward pass.
+  return 3.0 * options_.model.flops_per_sample * options_.local.batch_size *
+         options_.local.iterations;
+}
+
+std::vector<int> Simulation::select_participants(int round) {
+  // All active clients start the round; the server keeps the fraction that
+  // finishes earliest. Finish times are estimated with the previous round's
+  // mean payload (payload differences across clients within a protocol are
+  // second-order; compute heterogeneity dominates the ordering).
+  std::vector<int> active_ids;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (active_[i]) active_ids.push_back(static_cast<int>(i));
+  }
+  if (active_ids.empty()) {
+    throw std::logic_error("Simulation: no active clients");
+  }
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(options_.participation_fraction *
+                       static_cast<double>(active_ids.size()))));
+  std::vector<int> chosen;
+  chosen.reserve(take);
+  if (options_.participation == SimulationOptions::Participation::kUniform) {
+    util::Rng pick(options_.seed ^ 0x5e1ec7 ^
+                   (0x9e3779b97f4a7c15ULL * (round + 1)));
+    const auto perm = pick.permutation(active_ids.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      chosen.push_back(active_ids[perm[i]]);
+    }
+  } else {
+    const double flops = model_flops_per_round();
+    const auto est_bytes = static_cast<std::size_t>(last_mean_payload_bytes_);
+    std::vector<std::pair<double, int>> finish;
+    finish.reserve(active_ids.size());
+    for (int id : active_ids) {
+      finish.emplace_back(
+          network_.client_round_time(id, round, flops, est_bytes, est_bytes,
+                                     static_cast<int>(active_ids.size())),
+          id);
+    }
+    std::sort(finish.begin(), finish.end());
+    for (std::size_t i = 0; i < take && i < finish.size(); ++i) {
+      chosen.push_back(finish[i].second);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+RoundRecord Simulation::step() {
+  const int round = round_;
+  std::vector<int> participants = select_participants(round);
+
+  // Failure injection: drop uploads after training (compute is spent, the
+  // update never reaches the server). Deterministic per (seed, round).
+  int uploads_lost = 0;
+  if (options_.upload_loss_probability > 0.0) {
+    util::Rng loss_rng(options_.seed ^ 0xfa11 ^
+                       (0x9e3779b97f4a7c15ULL * (round + 1)));
+    std::vector<int> survivors;
+    for (int id : participants) {
+      if (loss_rng.bernoulli(options_.upload_loss_probability)) {
+        ++uploads_lost;
+      } else {
+        survivors.push_back(id);
+      }
+    }
+    if (survivors.empty()) {
+      // Whole round lost: charge the time, keep the state.
+      const double flops = model_flops_per_round();
+      double round_time = 0.0;
+      for (int id : participants) {
+        round_time = std::max(
+            round_time,
+            network_.client_round_time(id, round, flops, 0, 0,
+                                       static_cast<int>(participants.size())));
+      }
+      elapsed_time_s_ += round_time;
+      ++round_;
+      RoundRecord record;
+      record.round = round;
+      record.uploads_lost = uploads_lost;
+      record.round_time_s = round_time;
+      record.elapsed_time_s = elapsed_time_s_;
+      record.num_participants = 0;
+      if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
+        record.test_accuracy = evaluate();
+      }
+      if (round_hook_) round_hook_(record);
+      return record;
+    }
+    participants = std::move(survivors);
+  }
+
+  // Local training on each participant.
+  LocalTrainOptions local = options_.local;
+  if (options_.lr_schedule) {
+    local.learning_rate = options_.lr_schedule->lr(round);
+  }
+  std::vector<std::vector<float>> states;
+  states.reserve(participants.size());
+  double loss_sum = 0.0;
+  for (int id : participants) {
+    scratch_model_.load_state_vector(global_);
+    loss_sum += clients_[static_cast<std::size_t>(id)]->train_round(
+        scratch_model_, local);
+    states.push_back(scratch_model_.state_vector());
+  }
+
+  // Synchronization through the protocol under test.
+  compress::RoundContext ctx;
+  ctx.round = round;
+  ctx.participants = participants;
+  std::vector<std::span<const float>> views;
+  views.reserve(states.size());
+  for (const auto& s : states) views.emplace_back(s);
+  compress::SyncResult sync = protocol_->synchronize(ctx, views);
+  if (sync.new_global.size() != global_.size()) {
+    throw std::logic_error("Simulation: protocol changed state size");
+  }
+  global_ = std::move(sync.new_global);
+
+  // Simulated time: the round ends when the slowest used client finishes.
+  const double flops = model_flops_per_round();
+  double round_time = 0.0;
+  std::size_t bytes_up_total = 0, bytes_down_total = 0;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    bytes_up_total += sync.bytes_up[i];
+    bytes_down_total += sync.bytes_down[i];
+  }
+  if (options_.timing == TimingModel::kFlowLevel) {
+    net::RoundTimelineInput timeline;
+    timeline.server_bps = options_.network.server_bandwidth_bps;
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      timeline.compute_done_s.push_back(
+          network_.compute_time(participants[i], round, flops));
+      timeline.bytes_up.push_back(static_cast<double>(sync.bytes_up[i]));
+      timeline.bytes_down.push_back(static_cast<double>(sync.bytes_down[i]));
+      timeline.client_rate_bps.push_back(
+          network_.client_bandwidth_bps(participants[i]));
+    }
+    round_time = net::simulate_round(timeline).round_end_s;
+  } else {
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      const double t = network_.client_round_time(
+          participants[i], round, flops, sync.bytes_up[i], sync.bytes_down[i],
+          static_cast<int>(participants.size()));
+      round_time = std::max(round_time, t);
+    }
+  }
+  elapsed_time_s_ += round_time;
+  last_mean_payload_bytes_ =
+      participants.empty()
+          ? last_mean_payload_bytes_
+          : static_cast<double>(bytes_up_total + bytes_down_total) /
+                (2.0 * static_cast<double>(participants.size()));
+  ++round_;
+
+  RoundRecord record;
+  record.round = round;
+  record.round_time_s = round_time;
+  record.elapsed_time_s = elapsed_time_s_;
+  record.train_loss = participants.empty()
+                          ? 0.0
+                          : loss_sum / static_cast<double>(participants.size());
+  record.sparsification_ratio = protocol_->last_sparsification_ratio();
+  record.bytes_up = bytes_up_total;
+  record.bytes_down = bytes_down_total;
+  record.num_participants = static_cast<int>(participants.size());
+  record.uploads_lost = uploads_lost;
+  if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
+    record.test_accuracy = evaluate();
+  }
+  if (round_hook_) round_hook_(record);
+  return record;
+}
+
+std::vector<RoundRecord> Simulation::run(int rounds,
+                                         std::optional<float> stop_at_accuracy) {
+  std::vector<RoundRecord> records;
+  records.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    records.push_back(step());
+    if (stop_at_accuracy && records.back().test_accuracy &&
+        *records.back().test_accuracy >= *stop_at_accuracy) {
+      break;
+    }
+  }
+  return records;
+}
+
+float Simulation::evaluate() const {
+  scratch_model_.load_state_vector(global_);
+  const data::Dataset& test = data_.test;
+  const std::size_t n = test.size();
+  std::size_t done = 0;
+  double correct_weighted = 0.0;
+  tensor::Tensor batch;
+  std::vector<int> labels;
+  while (done < n) {
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(options_.eval_batch), n - done);
+    std::vector<std::size_t> idx(take);
+    std::iota(idx.begin(), idx.end(), done);
+    test.gather(idx, batch, labels);
+    const tensor::Tensor logits =
+        scratch_model_.forward(batch, /*train=*/false);
+    correct_weighted +=
+        static_cast<double>(nn::accuracy(logits, labels)) * take;
+    done += take;
+  }
+  return n == 0 ? 0.0f : static_cast<float>(correct_weighted / n);
+}
+
+std::pair<int, std::size_t> Simulation::add_client(data::Dataset shard) {
+  const int id = static_cast<int>(clients_.size());
+  util::Rng rng(options_.seed ^ (0x9e3779b9ULL * (id + 1)));
+  clients_.push_back(std::make_unique<Client>(id, std::move(shard),
+                                              options_.local.batch_size, rng));
+  active_.push_back(true);
+  network_.add_clients(1);
+  protocol_->on_client_join(id);
+  // The joiner downloads the latest model plus protocol join state (§V).
+  const std::size_t join_bytes =
+      global_.size() * sizeof(float) + protocol_->join_state_bytes();
+  return {id, join_bytes};
+}
+
+void Simulation::load_global_state(std::vector<float> state) {
+  if (state.size() != global_.size()) {
+    throw std::invalid_argument("Simulation::load_global_state: size mismatch");
+  }
+  global_ = std::move(state);
+}
+
+void Simulation::drop_client(int client_id) {
+  if (client_id < 0 || client_id >= static_cast<int>(clients_.size())) {
+    throw std::out_of_range("Simulation::drop_client: bad id");
+  }
+  active_[static_cast<std::size_t>(client_id)] = false;
+}
+
+}  // namespace fedsu::fl

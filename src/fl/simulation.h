@@ -1,0 +1,129 @@
+// End-to-end FL simulation: dataset generation, Dirichlet partitioning,
+// round loop with earliest-70 % participation, protocol-driven
+// synchronization, and the simulated-time cost model (DESIGN.md §2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "compress/protocol.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "net/network_model.h"
+#include "nn/schedule.h"
+#include "nn/zoo.h"
+
+namespace fedsu::fl {
+
+// How per-round simulated time is computed.
+enum class TimingModel {
+  kCoarse,     // per-client: compute + bytes / (capacity shared evenly)
+  kFlowLevel,  // two-phase max-min-fair flow simulation (net/round_timeline)
+};
+
+struct SimulationOptions {
+  nn::ModelSpec model;
+  data::SyntheticSpec dataset;
+  int num_clients = 8;
+  double dirichlet_alpha = 1.0;  // paper §VI-A uses alpha = 1
+  LocalTrainOptions local;
+  // Optional learning-rate schedule; when set it overrides
+  // local.learning_rate per round (e.g. the O(1/sqrt(T)) schedule Theorem 1
+  // suggests). Null means the constant local.learning_rate.
+  std::shared_ptr<const nn::LrSchedule> lr_schedule;
+  // Fraction of clients whose updates the server uses each round — the
+  // earliest finishers (paper: 70 %).
+  double participation_fraction = 0.7;
+  // How the fraction is chosen: the paper keeps the EARLIEST finishers
+  // (biasing toward fast devices); kUniform samples uniformly instead
+  // (classic FedAvg C-fraction), at the cost of waiting for slow devices.
+  enum class Participation { kEarliest, kUniform };
+  Participation participation = Participation::kEarliest;
+  net::NetworkOptions network;
+  TimingModel timing = TimingModel::kCoarse;
+  // Failure injection: probability that a selected client's upload is lost
+  // mid-round (the client trained, but the server never receives it and
+  // aggregates without it). 0 disables. If every upload of a round is lost
+  // the round is wasted: time passes, the global state stays put.
+  double upload_loss_probability = 0.0;
+  int eval_every = 1;       // test-set evaluation period, in rounds
+  int eval_batch = 64;
+  std::uint64_t seed = 42;
+};
+
+struct RoundRecord {
+  int round = 0;
+  int uploads_lost = 0;  // failure injection (see SimulationOptions)
+  double round_time_s = 0.0;     // simulated duration of this round
+  double elapsed_time_s = 0.0;   // cumulative simulated time
+  double train_loss = 0.0;       // mean over participants
+  std::optional<float> test_accuracy;  // present on eval rounds
+  double sparsification_ratio = 0.0;   // protocol-reported
+  std::size_t bytes_up = 0;            // summed over participants
+  std::size_t bytes_down = 0;
+  int num_participants = 0;
+};
+
+class Simulation {
+ public:
+  // The protocol object defines the synchronization scheme under test.
+  Simulation(SimulationOptions options,
+             std::unique_ptr<compress::SyncProtocol> protocol);
+
+  // Runs one round; returns its record.
+  RoundRecord step();
+
+  // Runs `rounds` rounds, collecting records. `stop_at_accuracy`, when set,
+  // ends the run early once a test evaluation reaches the target.
+  std::vector<RoundRecord> run(int rounds,
+                               std::optional<float> stop_at_accuracy = {});
+
+  float evaluate() const;  // test accuracy of the current global model
+
+  const std::vector<float>& global_state() const { return global_; }
+  compress::SyncProtocol& protocol() { return *protocol_; }
+  const SimulationOptions& options() const { return options_; }
+  int rounds_completed() const { return round_; }
+  double elapsed_time_s() const { return elapsed_time_s_; }
+  std::size_t model_state_size() const { return global_.size(); }
+  double model_flops_per_round() const;
+
+  // Called after each round, before the record is returned; used by benches
+  // to snoop trajectories without re-running.
+  void set_round_hook(std::function<void(const RoundRecord&)> hook) {
+    round_hook_ = std::move(hook);
+  }
+
+  // Dynamicity (paper §V): adds a fresh client mid-run with the given shard
+  // of extra data; it downloads model + protocol join state. Returns its id
+  // and the join payload bytes.
+  std::pair<int, std::size_t> add_client(data::Dataset shard);
+
+  // Removes a client from future participation (simulated dropout).
+  void drop_client(int client_id);
+
+  // Replaces the global model state (checkpoint restore). The protocol's own
+  // state is restored separately via SyncProtocol::restore().
+  void load_global_state(std::vector<float> state);
+
+ private:
+  std::vector<int> select_participants(int round);
+
+  SimulationOptions options_;
+  std::unique_ptr<compress::SyncProtocol> protocol_;
+  data::TrainTest data_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<bool> active_;
+  mutable nn::Model scratch_model_;
+  net::NetworkModel network_;
+  std::vector<float> global_;
+  int round_ = 0;
+  double elapsed_time_s_ = 0.0;
+  double last_mean_payload_bytes_ = 0.0;  // for finish-time estimation
+  std::function<void(const RoundRecord&)> round_hook_;
+};
+
+}  // namespace fedsu::fl

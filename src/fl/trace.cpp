@@ -1,0 +1,30 @@
+#include "fl/trace.h"
+
+namespace fedsu::fl {
+
+RoundTrace::RoundTrace(const std::string& path) : csv_(path) {
+  csv_.write_row({"round", "round_time_s", "elapsed_time_s", "train_loss",
+                  "test_accuracy", "sparsification_ratio", "bytes_up",
+                  "bytes_down", "participants"});
+}
+
+void RoundTrace::append(const RoundRecord& record) {
+  csv_.write_row(
+      {std::to_string(record.round),
+       util::CsvWriter::field(record.round_time_s),
+       util::CsvWriter::field(record.elapsed_time_s),
+       util::CsvWriter::field(record.train_loss),
+       record.test_accuracy ? util::CsvWriter::field(*record.test_accuracy)
+                            : std::string(""),
+       util::CsvWriter::field(record.sparsification_ratio),
+       util::CsvWriter::field(static_cast<long long>(record.bytes_up)),
+       util::CsvWriter::field(static_cast<long long>(record.bytes_down)),
+       std::to_string(record.num_participants)});
+  ++rows_;
+}
+
+std::function<void(const RoundRecord&)> RoundTrace::hook() {
+  return [this](const RoundRecord& record) { append(record); };
+}
+
+}  // namespace fedsu::fl

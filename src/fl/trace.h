@@ -1,0 +1,30 @@
+// Round-trace logger: appends one CSV row per RoundRecord so long
+// experiments can be inspected / re-plotted without re-running.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fl/simulation.h"
+#include "util/csv.h"
+
+namespace fedsu::fl {
+
+class RoundTrace {
+ public:
+  // Opens `path` and writes the header row.
+  explicit RoundTrace(const std::string& path);
+
+  void append(const RoundRecord& record);
+
+  // Installable hook for Simulation::set_round_hook.
+  std::function<void(const RoundRecord&)> hook();
+
+  int rows_written() const { return rows_; }
+
+ private:
+  util::CsvWriter csv_;
+  int rows_ = 0;
+};
+
+}  // namespace fedsu::fl

@@ -1,0 +1,46 @@
+#include "io/checkpoint.h"
+
+#include "io/serialize.h"
+
+namespace fedsu::io {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0xC4EC'B01F;
+}  // namespace
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  BinaryWriter writer;
+  writer.write_magic(kCheckpointMagic);
+  writer.write_string(checkpoint.protocol_name);
+  writer.write_i32(checkpoint.round);
+  writer.write_f64(checkpoint.elapsed_time_s);
+  writer.write_vector(checkpoint.model_state);
+  writer.write_vector(checkpoint.protocol_snapshot);
+  writer.save_to_file(path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  BinaryReader reader = BinaryReader::from_file(path);
+  reader.expect_magic(kCheckpointMagic, "checkpoint");
+  Checkpoint checkpoint;
+  checkpoint.protocol_name = reader.read_string();
+  checkpoint.round = reader.read_i32();
+  checkpoint.elapsed_time_s = reader.read_f64();
+  checkpoint.model_state = reader.read_vector<float>();
+  checkpoint.protocol_snapshot = reader.read_vector<std::uint8_t>();
+  return checkpoint;
+}
+
+Checkpoint make_checkpoint(const compress::SyncProtocol& protocol,
+                           std::vector<float> model_state, int round,
+                           double elapsed_time_s) {
+  Checkpoint checkpoint;
+  checkpoint.protocol_name = protocol.name();
+  checkpoint.round = round;
+  checkpoint.elapsed_time_s = elapsed_time_s;
+  checkpoint.model_state = std::move(model_state);
+  checkpoint.protocol_snapshot = protocol.snapshot();
+  return checkpoint;
+}
+
+}  // namespace fedsu::io

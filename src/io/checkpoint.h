@@ -1,0 +1,30 @@
+// Training checkpoints: model state + protocol snapshot + round metadata,
+// persisted to one file so an FL run can be stopped and resumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compress/protocol.h"
+
+namespace fedsu::io {
+
+struct Checkpoint {
+  std::string protocol_name;
+  int round = 0;
+  double elapsed_time_s = 0.0;
+  std::vector<float> model_state;
+  std::vector<std::uint8_t> protocol_snapshot;  // may be empty
+};
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+
+Checkpoint load_checkpoint(const std::string& path);
+
+// Convenience: captures the protocol's snapshot alongside the given model
+// state and metadata.
+Checkpoint make_checkpoint(const compress::SyncProtocol& protocol,
+                           std::vector<float> model_state, int round,
+                           double elapsed_time_s);
+
+}  // namespace fedsu::io

@@ -1,0 +1,82 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::metrics {
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double q) const {
+  if (values_.empty()) throw std::logic_error("Cdf::quantile: no samples");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Cdf::quantile: bad q");
+  ensure_sorted();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(values_.size()) - 1.0,
+                       std::floor(q * static_cast<double>(values_.size()))));
+  return values_[rank];
+}
+
+double Cdf::fraction_below(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(int points) const {
+  if (points < 2) throw std::invalid_argument("Cdf::curve: points < 2");
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty()) return out;
+  ensure_sorted();
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / (points - 1);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(values_.size()) - 1.0,
+                         std::round(q * (static_cast<double>(values_.size()) - 1))));
+    out.emplace_back(values_[rank], q);
+  }
+  return out;
+}
+
+double NormalizedDifference::observe(const std::vector<float>& update) {
+  double nd = -1.0;
+  if (has_prev_) {
+    if (update.size() != prev_update_.size()) {
+      throw std::invalid_argument("NormalizedDifference: size mismatch");
+    }
+    double diff2 = 0.0, prev2 = 0.0;
+    for (std::size_t i = 0; i < update.size(); ++i) {
+      const double d = static_cast<double>(update[i]) - prev_update_[i];
+      diff2 += d * d;
+      prev2 += static_cast<double>(prev_update_[i]) * prev_update_[i];
+    }
+    nd = prev2 > 0.0 ? std::sqrt(diff2) / std::sqrt(prev2) : 0.0;
+    history_.push_back(nd);
+  }
+  prev_update_ = update;
+  has_prev_ = true;
+  return nd;
+}
+
+TrajectoryRecorder::TrajectoryRecorder(std::vector<std::size_t> indices)
+    : indices_(std::move(indices)), series_(indices_.size()) {}
+
+void TrajectoryRecorder::record(const std::vector<float>& state) {
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    if (indices_[i] >= state.size()) {
+      throw std::out_of_range("TrajectoryRecorder: index out of range");
+    }
+    series_[i].push_back(state[indices_[i]]);
+  }
+}
+
+}  // namespace fedsu::metrics

@@ -1,0 +1,129 @@
+#include "net/flow_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedsu::net {
+
+std::vector<double> max_min_fair_rates(const std::vector<double>& caps,
+                                       double capacity) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("max_min_fair_rates: capacity <= 0");
+  }
+  const std::size_t n = caps.size();
+  std::vector<double> rates(n, 0.0);
+  if (n == 0) return rates;
+  for (double c : caps) {
+    if (c <= 0.0) throw std::invalid_argument("max_min_fair_rates: cap <= 0");
+  }
+  // Water-filling: repeatedly grant the fair share; flows whose cap is
+  // below it are frozen at their cap and their leftover redistributes.
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+  double remaining = capacity;
+  while (!active.empty()) {
+    const double fair = remaining / static_cast<double>(active.size());
+    // Freeze all capped flows this pass.
+    std::vector<std::size_t> still_active;
+    bool froze_any = false;
+    for (std::size_t i : active) {
+      if (caps[i] <= fair) {
+        rates[i] = caps[i];
+        remaining -= caps[i];
+        froze_any = true;
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    if (!froze_any) {
+      for (std::size_t i : still_active) rates[i] = fair;
+      break;
+    }
+    active = std::move(still_active);
+  }
+  return rates;
+}
+
+std::vector<FlowResult> simulate_shared_link(const std::vector<Flow>& flows,
+                                             double bottleneck_bps) {
+  if (bottleneck_bps <= 0.0) {
+    throw std::invalid_argument("simulate_shared_link: bottleneck <= 0");
+  }
+  const std::size_t n = flows.size();
+  std::vector<FlowResult> results(n);
+  std::vector<double> bits_left(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flows[i].bytes < 0.0 || flows[i].rate_cap_bps <= 0.0 ||
+        flows[i].start_time_s < 0.0) {
+      throw std::invalid_argument("simulate_shared_link: bad flow");
+    }
+    bits_left[i] = flows[i].bytes * 8.0;
+    results[i].finish_time_s = flows[i].start_time_s;  // zero-byte default
+  }
+
+  // Event loop: between events the active set and its rates are constant.
+  double now = 0.0;
+  std::vector<bool> started(n, false), finished(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bits_left[i] == 0.0) finished[i] = true;
+  }
+  auto all_done = [&]() {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!finished[i]) return false;
+    }
+    return true;
+  };
+
+  while (!all_done()) {
+    // Active flows: started and unfinished.
+    std::vector<std::size_t> active;
+    double next_arrival = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (finished[i]) continue;
+      if (flows[i].start_time_s <= now) {
+        started[i] = true;
+        active.push_back(i);
+      } else {
+        next_arrival = std::min(next_arrival, flows[i].start_time_s);
+      }
+    }
+    if (active.empty()) {
+      // Idle until the next arrival.
+      now = next_arrival;
+      continue;
+    }
+    std::vector<double> caps;
+    caps.reserve(active.size());
+    for (std::size_t i : active) caps.push_back(flows[i].rate_cap_bps);
+    const std::vector<double> rates = max_min_fair_rates(caps, bottleneck_bps);
+
+    // Time until the first active flow completes at current rates.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (rates[k] > 0.0) {
+        dt = std::min(dt, bits_left[active[k]] / rates[k]);
+      }
+    }
+    // ... or until a new flow arrives and reshapes the allocation.
+    if (next_arrival - now < dt) dt = next_arrival - now;
+    if (!(dt > 0.0) || !std::isfinite(dt)) {
+      throw std::logic_error("simulate_shared_link: stalled simulation");
+    }
+
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const std::size_t i = active[k];
+      bits_left[i] -= rates[k] * dt;
+      if (bits_left[i] <= 1e-9) {
+        bits_left[i] = 0.0;
+        finished[i] = true;
+        results[i].finish_time_s = now + dt;
+      }
+    }
+    now += dt;
+  }
+  return results;
+}
+
+}  // namespace fedsu::net

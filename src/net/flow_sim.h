@@ -1,0 +1,41 @@
+// Flow-level network simulation with max-min fair sharing.
+//
+// Models one bottleneck link (the FL server's access link) shared by many
+// client flows, each additionally capped by its own access rate — the
+// classic water-filling allocation, advanced event-by-event (a flow
+// arriving or completing changes the allocation; rates are constant in
+// between). This is the exact fluid model of TCP-fair sharing and upgrades
+// the coarse "capacity / concurrent" approximation of NetworkModel: with
+// staggered arrivals, early flows get more than 1/N of the bottleneck, so
+// the earliest-70% participation cut (paper §VI-A) lands differently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedsu::net {
+
+struct Flow {
+  double start_time_s = 0.0;  // when the flow becomes active
+  double bytes = 0.0;         // payload to move
+  double rate_cap_bps = 0.0;  // client access-link rate (bits/s), > 0
+};
+
+struct FlowResult {
+  double finish_time_s = 0.0;  // absolute completion time
+};
+
+// Simulates the given flows over a shared bottleneck of
+// `bottleneck_bps` (bits/s). Zero-byte flows finish at their start time.
+// Throws std::invalid_argument for non-positive capacities or negative
+// inputs.
+std::vector<FlowResult> simulate_shared_link(const std::vector<Flow>& flows,
+                                             double bottleneck_bps);
+
+// Max-min fair ("water-filling") instantaneous allocation: divides
+// `capacity` over `caps` so no flow exceeds its cap and unused share is
+// redistributed. Exposed for tests. Returns per-flow rates.
+std::vector<double> max_min_fair_rates(const std::vector<double>& caps,
+                                       double capacity);
+
+}  // namespace fedsu::net

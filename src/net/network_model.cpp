@@ -1,0 +1,70 @@
+#include "net/network_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::net {
+
+NetworkModel::NetworkModel(int num_clients, const NetworkOptions& options)
+    : options_(options), seed_(options.seed), rng_(options.seed) {
+  if (num_clients <= 0) {
+    throw std::invalid_argument("NetworkModel: num_clients <= 0");
+  }
+  add_clients(num_clients);
+}
+
+void NetworkModel::add_clients(int count) {
+  if (count < 0) throw std::invalid_argument("NetworkModel: negative count");
+  for (int i = 0; i < count; ++i) {
+    speed_factor_.push_back(rng_.lognormal(0.0, options_.compute_sigma));
+    bandwidth_factor_.push_back(rng_.lognormal(0.0, options_.bandwidth_sigma));
+  }
+}
+
+double NetworkModel::compute_time(int client, int round, double flops) const {
+  if (client < 0 || client >= num_clients()) {
+    throw std::out_of_range("NetworkModel::compute_time: bad client");
+  }
+  // Deterministic per-(client, round) jitter.
+  util::Rng jitter(seed_ ^ (0x9e3779b97f4a7c15ULL * (client + 1)) ^
+                   (0xbf58476d1ce4e5b9ULL * (round + 1)));
+  const double j = jitter.lognormal(0.0, options_.round_jitter_sigma);
+  return flops / options_.device_flops *
+         speed_factor_[static_cast<std::size_t>(client)] * j;
+}
+
+double NetworkModel::comm_time(int client, std::size_t bytes_up,
+                               std::size_t bytes_down, int concurrent) const {
+  if (client < 0 || client >= num_clients()) {
+    throw std::out_of_range("NetworkModel::comm_time: bad client");
+  }
+  if (concurrent <= 0) concurrent = 1;
+  const double client_bps = client_bandwidth_bps(client);
+  const double server_bps = options_.server_bandwidth_bps / concurrent;
+  const double up_bps = std::min(client_bps, server_bps);
+  const double down_bps = std::min(client_bps, server_bps);
+  double t = 0.0;
+  if (bytes_up > 0) {
+    t += options_.base_latency_s + 8.0 * static_cast<double>(bytes_up) / up_bps;
+  }
+  if (bytes_down > 0) {
+    t += options_.base_latency_s +
+         8.0 * static_cast<double>(bytes_down) / down_bps;
+  }
+  return t;
+}
+
+double NetworkModel::client_round_time(int client, int round, double flops,
+                                       std::size_t bytes_up,
+                                       std::size_t bytes_down,
+                                       int concurrent) const {
+  return compute_time(client, round, flops) +
+         comm_time(client, bytes_up, bytes_down, concurrent);
+}
+
+double NetworkModel::client_bandwidth_bps(int client) const {
+  return options_.client_bandwidth_bps *
+         bandwidth_factor_[static_cast<std::size_t>(client)];
+}
+
+}  // namespace fedsu::net

@@ -1,0 +1,62 @@
+// Deterministic network/compute cost model (DESIGN.md §2).
+//
+// Reproduces the paper's emulated testbed: every client gets a throttled
+// link (13.7 Mbps, the FedScale average the paper adopts) and a phone-class
+// compute budget with lognormal heterogeneity; the server link is fat enough
+// to never be the bottleneck. All times are simulated seconds — deterministic
+// for a given seed, independent of the host machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedsu::net {
+
+struct NetworkOptions {
+  double client_bandwidth_bps = 13.7e6;  // up and down, per client
+  double server_bandwidth_bps = 10e9;
+  double base_latency_s = 0.05;          // per direction RTT share
+  double device_flops = 3.0e8;           // effective phone-class throughput
+  double compute_sigma = 0.25;           // lognormal sigma of per-client speed
+  double bandwidth_sigma = 0.15;         // lognormal sigma of per-client link
+  double round_jitter_sigma = 0.10;      // fresh per-round multiplicative noise
+  std::uint64_t seed = 23;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(int num_clients, const NetworkOptions& options);
+
+  int num_clients() const { return static_cast<int>(speed_factor_.size()); }
+
+  // Seconds client `i` needs to run `flops` of local training in round `r`
+  // (jitter varies per round, deterministic in (seed, i, r)).
+  double compute_time(int client, int round, double flops) const;
+
+  // Seconds to push `bytes_up` and pull `bytes_down` over client i's link.
+  // The server link is shared: `concurrent` clients divide it.
+  double comm_time(int client, std::size_t bytes_up, std::size_t bytes_down,
+                   int concurrent) const;
+
+  // Total round finish time for one client.
+  double client_round_time(int client, int round, double flops,
+                           std::size_t bytes_up, std::size_t bytes_down,
+                           int concurrent) const;
+
+  double client_bandwidth_bps(int client) const;
+
+  // Extends the population (client joins, paper §V). New clients draw their
+  // factors from the same deterministic stream.
+  void add_clients(int count);
+
+ private:
+  NetworkOptions options_;
+  std::vector<double> speed_factor_;      // >1 => slower device
+  std::vector<double> bandwidth_factor_;  // multiplies the base link rate
+  std::uint64_t seed_;
+  util::Rng rng_{0};
+};
+
+}  // namespace fedsu::net

@@ -1,0 +1,54 @@
+#include "net/round_timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsu::net {
+
+RoundTimelineResult simulate_round(const RoundTimelineInput& input) {
+  const std::size_t n = input.compute_done_s.size();
+  if (input.bytes_up.size() != n || input.bytes_down.size() != n ||
+      input.client_rate_bps.size() != n) {
+    throw std::invalid_argument("simulate_round: vector length mismatch");
+  }
+  if (n == 0) throw std::invalid_argument("simulate_round: no clients");
+
+  RoundTimelineResult result;
+
+  // Phase 1: uploads start as each client's compute finishes.
+  std::vector<Flow> uploads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    uploads[i].start_time_s = input.compute_done_s[i];
+    uploads[i].bytes = input.bytes_up[i];
+    uploads[i].rate_cap_bps = input.client_rate_bps[i];
+  }
+  const auto upload_results = simulate_shared_link(uploads, input.server_bps);
+  result.upload_done_s.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.upload_done_s[i] = upload_results[i].finish_time_s;
+  }
+
+  // Aggregation waits for every participating upload (the simulator passes
+  // only the clients whose updates the server uses).
+  result.broadcast_start_s =
+      *std::max_element(result.upload_done_s.begin(), result.upload_done_s.end());
+
+  // Phase 2: broadcast to everyone simultaneously.
+  std::vector<Flow> downloads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    downloads[i].start_time_s = result.broadcast_start_s;
+    downloads[i].bytes = input.bytes_down[i];
+    downloads[i].rate_cap_bps = input.client_rate_bps[i];
+  }
+  const auto download_results =
+      simulate_shared_link(downloads, input.server_bps);
+  result.round_done_s.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.round_done_s[i] = download_results[i].finish_time_s;
+  }
+  result.round_end_s =
+      *std::max_element(result.round_done_s.begin(), result.round_done_s.end());
+  return result;
+}
+
+}  // namespace fedsu::net

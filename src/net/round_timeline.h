@@ -1,0 +1,34 @@
+// One FL round as a two-phase flow-level timeline:
+//   1. each client computes locally, then uploads its payload; all uploads
+//      share the server's ingress link (max-min fair);
+//   2. when the last needed upload lands, the server aggregates (instant)
+//      and broadcasts; all downloads share the egress link.
+// Returns per-client completion times, giving an exact earliest-finishers
+// ordering instead of the coarse capacity/N approximation.
+#pragma once
+
+#include <vector>
+
+#include "net/flow_sim.h"
+
+namespace fedsu::net {
+
+struct RoundTimelineInput {
+  // Per client, all vectors the same length:
+  std::vector<double> compute_done_s;   // local training finish times
+  std::vector<double> bytes_up;
+  std::vector<double> bytes_down;
+  std::vector<double> client_rate_bps;  // access-link rate per client
+  double server_bps = 10e9;             // shared ingress/egress capacity
+};
+
+struct RoundTimelineResult {
+  std::vector<double> upload_done_s;
+  double broadcast_start_s = 0.0;  // when aggregation completes
+  std::vector<double> round_done_s;  // per-client download completion
+  double round_end_s = 0.0;          // max over clients
+};
+
+RoundTimelineResult simulate_round(const RoundTimelineInput& input);
+
+}  // namespace fedsu::net

@@ -1,0 +1,39 @@
+// Pointwise activations.
+#pragma once
+
+#include "nn/module.h"
+
+namespace fedsu::nn {
+
+class ReLU : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  tensor::Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+// Reshapes [N, C, H, W] (or any rank >= 2) to [N, rest].
+class Flatten : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace fedsu::nn

@@ -1,0 +1,175 @@
+#include "nn/blocks.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/activation.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+
+namespace fedsu::nn {
+
+ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
+                             util::Rng& rng)
+    : conv1_(in_channels, out_channels, 3, rng, stride, 1, /*bias=*/false),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, rng, 1, 1, /*bias=*/false),
+      bn2_(out_channels) {
+  if (stride != 1 || in_channels != out_channels) {
+    projection_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, rng,
+                                           stride, 0, /*bias=*/false);
+    projection_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+tensor::Tensor ResidualBlock::forward(const tensor::Tensor& input, bool train) {
+  tensor::Tensor main = bn1_.forward(conv1_.forward(input, train), train);
+  // In-place ReLU on the main path; cache where it was clipped via sign of
+  // the stored pre-activation (we re-run the standard module-free ReLU here
+  // and reconstruct the gate in backward from cached_sum_ instead).
+  for (std::size_t i = 0; i < main.size(); ++i) {
+    if (main[i] < 0.0f) main[i] = 0.0f;
+  }
+  relu1_gate_ = main;  // post-ReLU activations double as the gate (0 => clipped)
+  main = bn2_.forward(conv2_.forward(main, train), train);
+
+  tensor::Tensor shortcut =
+      projection_ ? projection_bn_->forward(projection_->forward(input, train),
+                                            train)
+                  : input;
+  tensor::add_inplace(main, shortcut);
+  cached_sum_ = main;
+  for (std::size_t i = 0; i < main.size(); ++i) {
+    if (main[i] < 0.0f) main[i] = 0.0f;
+  }
+  return main;
+}
+
+tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_sum_)) {
+    throw std::invalid_argument("ResidualBlock::backward: shape mismatch");
+  }
+  // Final ReLU gate.
+  tensor::Tensor g = grad_output;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (cached_sum_[i] <= 0.0f) g[i] = 0.0f;
+  }
+  // Main path.
+  tensor::Tensor gm = conv2_.backward(bn2_.backward(g));
+  // Mid ReLU gate: relu1_gate_ holds post-ReLU values (0 where clipped).
+  for (std::size_t i = 0; i < gm.size(); ++i) {
+    if (relu1_gate_[i] <= 0.0f) gm[i] = 0.0f;
+  }
+  tensor::Tensor dx = conv1_.backward(bn1_.backward(gm));
+  // Shortcut path.
+  if (projection_) {
+    tensor::Tensor gs = projection_->backward(projection_bn_->backward(g));
+    tensor::add_inplace(dx, gs);
+  } else {
+    tensor::add_inplace(dx, g);
+  }
+  return dx;
+}
+
+void ResidualBlock::collect_params(std::vector<Param*>& out) {
+  conv1_.collect_params(out);
+  bn1_.collect_params(out);
+  conv2_.collect_params(out);
+  bn2_.collect_params(out);
+  if (projection_) {
+    projection_->collect_params(out);
+    projection_bn_->collect_params(out);
+  }
+}
+
+DenseLayer::DenseLayer(int in_channels, int growth, util::Rng& rng)
+    : in_channels_(in_channels),
+      growth_(growth),
+      bn_(in_channels),
+      relu_(std::make_unique<ReLU>()),
+      conv_(in_channels, growth, 3, rng, 1, 1, /*bias=*/false) {}
+
+tensor::Tensor DenseLayer::forward(const tensor::Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("DenseLayer::forward: bad input " +
+                                input.shape_string());
+  }
+  cached_input_shape_ = input.shape();
+  tensor::Tensor fresh =
+      conv_.forward(relu_->forward(bn_.forward(input, train), train), train);
+  // Concatenate [input, fresh] along channels.
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  tensor::Tensor out({n, in_channels_ + growth_, h, w});
+  for (int in = 0; in < n; ++in) {
+    std::memcpy(out.data() +
+                    static_cast<std::size_t>(in) * (in_channels_ + growth_) * plane,
+                input.data() + static_cast<std::size_t>(in) * in_channels_ * plane,
+                sizeof(float) * in_channels_ * plane);
+    std::memcpy(out.data() +
+                    (static_cast<std::size_t>(in) * (in_channels_ + growth_) +
+                     in_channels_) *
+                        plane,
+                fresh.data() + static_cast<std::size_t>(in) * growth_ * plane,
+                sizeof(float) * growth_ * plane);
+  }
+  return out;
+}
+
+tensor::Tensor DenseLayer::backward(const tensor::Tensor& grad_output) {
+  const int n = cached_input_shape_[0], h = cached_input_shape_[2],
+            w = cached_input_shape_[3];
+  if (grad_output.rank() != 4 ||
+      grad_output.dim(1) != in_channels_ + growth_) {
+    throw std::invalid_argument("DenseLayer::backward: bad grad " +
+                                grad_output.shape_string());
+  }
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  // Split the concat gradient back into the passthrough and fresh slices.
+  tensor::Tensor g_pass({n, in_channels_, h, w});
+  tensor::Tensor g_fresh({n, growth_, h, w});
+  for (int in = 0; in < n; ++in) {
+    std::memcpy(g_pass.data() + static_cast<std::size_t>(in) * in_channels_ * plane,
+                grad_output.data() +
+                    static_cast<std::size_t>(in) * (in_channels_ + growth_) * plane,
+                sizeof(float) * in_channels_ * plane);
+    std::memcpy(g_fresh.data() + static_cast<std::size_t>(in) * growth_ * plane,
+                grad_output.data() +
+                    (static_cast<std::size_t>(in) * (in_channels_ + growth_) +
+                     in_channels_) *
+                        plane,
+                sizeof(float) * growth_ * plane);
+  }
+  tensor::Tensor dx = bn_.backward(relu_->backward(conv_.backward(g_fresh)));
+  tensor::add_inplace(dx, g_pass);
+  return dx;
+}
+
+void DenseLayer::collect_params(std::vector<Param*>& out) {
+  bn_.collect_params(out);
+  conv_.collect_params(out);
+}
+
+TransitionLayer::TransitionLayer(int in_channels, int out_channels,
+                                 util::Rng& rng) {
+  body_.add(std::make_unique<BatchNorm2d>(in_channels));
+  body_.add(std::make_unique<ReLU>());
+  body_.add(std::make_unique<Conv2d>(in_channels, out_channels, 1, rng, 1, 0,
+                                     /*bias=*/false));
+  body_.add(std::make_unique<AvgPool2d>(2));
+}
+
+tensor::Tensor TransitionLayer::forward(const tensor::Tensor& input,
+                                        bool train) {
+  return body_.forward(input, train);
+}
+
+tensor::Tensor TransitionLayer::backward(const tensor::Tensor& grad_output) {
+  return body_.backward(grad_output);
+}
+
+void TransitionLayer::collect_params(std::vector<Param*>& out) {
+  body_.collect_params(out);
+}
+
+}  // namespace fedsu::nn

@@ -1,0 +1,200 @@
+#include "nn/conv2d.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/init.h"
+
+namespace fedsu::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng,
+               int stride, int padding, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      padding < 0) {
+    throw std::invalid_argument("Conv2d: bad constructor arguments");
+  }
+  const int fan_in = in_channels * kernel * kernel;
+  weight_.value = tensor::Tensor({out_channels, fan_in});
+  weight_.grad = tensor::Tensor({out_channels, fan_in});
+  weight_.name = "conv.weight";
+  tensor::kaiming_normal(weight_.value, fan_in, rng);
+  if (has_bias_) {
+    bias_.value = tensor::Tensor({out_channels});
+    bias_.grad = tensor::Tensor({out_channels});
+    bias_.name = "conv.bias";
+  }
+}
+
+void Conv2d::im2col(const float* image, int h, int w, float* cols) const {
+  const int oh = out_height(h);
+  const int ow = out_width(w);
+  const int patch = oh * ow;
+  // cols layout: row = (c, kr, kc), col = (orow, ocol)
+  for (int c = 0; c < in_channels_; ++c) {
+    const float* plane = image + static_cast<std::size_t>(c) * h * w;
+    for (int kr = 0; kr < kernel_; ++kr) {
+      for (int kc = 0; kc < kernel_; ++kc) {
+        float* row = cols +
+                     (static_cast<std::size_t>(c) * kernel_ * kernel_ +
+                      static_cast<std::size_t>(kr) * kernel_ + kc) *
+                         patch;
+        for (int orow = 0; orow < oh; ++orow) {
+          const int r = orow * stride_ + kr - padding_;
+          if (r < 0 || r >= h) {
+            std::memset(row + static_cast<std::size_t>(orow) * ow, 0,
+                        sizeof(float) * ow);
+            continue;
+          }
+          for (int ocol = 0; ocol < ow; ++ocol) {
+            const int col = ocol * stride_ + kc - padding_;
+            row[static_cast<std::size_t>(orow) * ow + ocol] =
+                (col >= 0 && col < w)
+                    ? plane[static_cast<std::size_t>(r) * w + col]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* cols, int h, int w, float* image) const {
+  const int oh = out_height(h);
+  const int ow = out_width(w);
+  const int patch = oh * ow;
+  for (int c = 0; c < in_channels_; ++c) {
+    float* plane = image + static_cast<std::size_t>(c) * h * w;
+    for (int kr = 0; kr < kernel_; ++kr) {
+      for (int kc = 0; kc < kernel_; ++kc) {
+        const float* row = cols +
+                           (static_cast<std::size_t>(c) * kernel_ * kernel_ +
+                            static_cast<std::size_t>(kr) * kernel_ + kc) *
+                               patch;
+        for (int orow = 0; orow < oh; ++orow) {
+          const int r = orow * stride_ + kr - padding_;
+          if (r < 0 || r >= h) continue;
+          for (int ocol = 0; ocol < ow; ++ocol) {
+            const int col = ocol * stride_ + kc - padding_;
+            if (col < 0 || col >= w) continue;
+            plane[static_cast<std::size_t>(r) * w + col] +=
+                row[static_cast<std::size_t>(orow) * ow + ocol];
+          }
+        }
+      }
+    }
+  }
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool /*train*/) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: bad input " +
+                                input.shape_string());
+  }
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int oh = out_height(h);
+  const int ow = out_width(w);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("Conv2d::forward: output would be empty");
+  }
+  cached_input_ = input;
+  cached_oh_ = oh;
+  cached_ow_ = ow;
+  const int fan_in = in_channels_ * kernel_ * kernel_;
+  const int patch = oh * ow;
+  cached_cols_ = tensor::Tensor({n, fan_in, patch});
+  tensor::Tensor out({n, out_channels_, oh, ow});
+
+  const float* wmat = weight_.value.data();
+  for (int in = 0; in < n; ++in) {
+    float* cols = cached_cols_.data() +
+                  static_cast<std::size_t>(in) * fan_in * patch;
+    im2col(input.data() + static_cast<std::size_t>(in) * in_channels_ * h * w,
+           h, w, cols);
+    // out[in] = W[outC, fan_in] * cols[fan_in, patch]
+    float* y = out.data() + static_cast<std::size_t>(in) * out_channels_ * patch;
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* yrow = y + static_cast<std::size_t>(oc) * patch;
+      const float* wrow = wmat + static_cast<std::size_t>(oc) * fan_in;
+      if (has_bias_) {
+        const float b = bias_.value[static_cast<std::size_t>(oc)];
+        for (int p = 0; p < patch; ++p) yrow[p] = b;
+      }
+      for (int l = 0; l < fan_in; ++l) {
+        const float wv = wrow[l];
+        if (wv == 0.0f) continue;
+        const float* crow = cols + static_cast<std::size_t>(l) * patch;
+        for (int p = 0; p < patch; ++p) yrow[p] += wv * crow[p];
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
+  const int n = cached_input_.dim(0), h = cached_input_.dim(2),
+            w = cached_input_.dim(3);
+  const int oh = cached_oh_, ow = cached_ow_;
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_channels_ || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow) {
+    throw std::invalid_argument("Conv2d::backward: bad grad " +
+                                grad_output.shape_string());
+  }
+  const int fan_in = in_channels_ * kernel_ * kernel_;
+  const int patch = oh * ow;
+  tensor::Tensor dx(cached_input_.shape());
+  std::vector<float> dcols(static_cast<std::size_t>(fan_in) * patch);
+
+  float* dwmat = weight_.grad.data();
+  const float* wmat = weight_.value.data();
+  for (int in = 0; in < n; ++in) {
+    const float* g = grad_output.data() +
+                     static_cast<std::size_t>(in) * out_channels_ * patch;
+    const float* cols = cached_cols_.data() +
+                        static_cast<std::size_t>(in) * fan_in * patch;
+    // dW += g[outC, patch] * cols[fan_in, patch]^T
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* grow = g + static_cast<std::size_t>(oc) * patch;
+      float* dwrow = dwmat + static_cast<std::size_t>(oc) * fan_in;
+      for (int l = 0; l < fan_in; ++l) {
+        const float* crow = cols + static_cast<std::size_t>(l) * patch;
+        float acc = 0.0f;
+        for (int p = 0; p < patch; ++p) acc += grow[p] * crow[p];
+        dwrow[l] += acc;
+      }
+      if (has_bias_) {
+        float acc = 0.0f;
+        for (int p = 0; p < patch; ++p) acc += grow[p];
+        bias_.grad[static_cast<std::size_t>(oc)] += acc;
+      }
+    }
+    // dcols = W^T[fan_in, outC] * g[outC, patch]
+    std::fill(dcols.begin(), dcols.end(), 0.0f);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* grow = g + static_cast<std::size_t>(oc) * patch;
+      const float* wrow = wmat + static_cast<std::size_t>(oc) * fan_in;
+      for (int l = 0; l < fan_in; ++l) {
+        const float wv = wrow[l];
+        if (wv == 0.0f) continue;
+        float* drow = dcols.data() + static_cast<std::size_t>(l) * patch;
+        for (int p = 0; p < patch; ++p) drow[p] += wv * grow[p];
+      }
+    }
+    col2im(dcols.data(), h, w,
+           dx.data() + static_cast<std::size_t>(in) * in_channels_ * h * w);
+  }
+  return dx;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace fedsu::nn

@@ -1,0 +1,42 @@
+// 2-D convolution over NCHW tensors, implemented with im2col + matmul.
+#pragma once
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fedsu::nn {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng,
+         int stride = 1, int padding = 0, bool bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "Conv2d"; }
+
+  int out_height(int h) const { return (h + 2 * padding_ - kernel_) / stride_ + 1; }
+  int out_width(int w) const { return (w + 2 * padding_ - kernel_) / stride_ + 1; }
+
+ private:
+  // Unpacks one sample [C,H,W] into columns [C*k*k, oh*ow].
+  void im2col(const float* image, int h, int w, float* cols) const;
+  // Scatter-adds columns back into a [C,H,W] image buffer.
+  void col2im(const float* cols, int h, int w, float* image) const;
+
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int padding_;
+  bool has_bias_;
+  Param weight_;  // [outC, inC*k*k]
+  Param bias_;    // [outC]
+  tensor::Tensor cached_input_;
+  tensor::Tensor cached_cols_;  // [N, inC*k*k, oh*ow] flattened
+  int cached_oh_ = 0;
+  int cached_ow_ = 0;
+};
+
+}  // namespace fedsu::nn

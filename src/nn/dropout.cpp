@@ -1,0 +1,43 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace fedsu::nn {
+
+Dropout::Dropout(float rate, util::Rng rng) : rate_(rate), rng_(rng) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate out of [0, 1)");
+  }
+}
+
+tensor::Tensor Dropout::forward(const tensor::Tensor& input, bool train) {
+  last_forward_train_ = train;
+  if (!train || rate_ == 0.0f) return input;
+  tensor::Tensor out = input;
+  kept_.assign(input.size(), 1);
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng_.bernoulli(rate_)) {
+      out[i] = 0.0f;
+      kept_[i] = 0;
+    } else {
+      out[i] *= scale;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Dropout::backward(const tensor::Tensor& grad_output) {
+  if (!last_forward_train_ || rate_ == 0.0f) return grad_output;
+  if (grad_output.size() != kept_.size()) {
+    throw std::invalid_argument("Dropout::backward: shape mismatch");
+  }
+  tensor::Tensor dx = grad_output;
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx[i] = kept_[i] ? dx[i] * scale : 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace fedsu::nn

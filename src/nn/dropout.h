@@ -1,0 +1,24 @@
+// Inverted dropout: active in training mode, identity in eval mode.
+#pragma once
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fedsu::nn {
+
+class Dropout : public Module {
+ public:
+  Dropout(float rate, util::Rng rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  util::Rng rng_;
+  std::vector<std::uint8_t> kept_;  // per-element keep mask of last forward
+  bool last_forward_train_ = false;
+};
+
+}  // namespace fedsu::nn

@@ -1,0 +1,67 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace fedsu::nn {
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias) {
+  weight_.value = tensor::Tensor({out_features, in_features});
+  weight_.grad = tensor::Tensor({out_features, in_features});
+  weight_.name = "linear.weight";
+  tensor::kaiming_normal(weight_.value, in_features, rng);
+  if (has_bias_) {
+    bias_.value = tensor::Tensor({out_features});
+    bias_.grad = tensor::Tensor({out_features});
+    bias_.name = "linear.bias";
+  }
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& input, bool /*train*/) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear::forward: expected [N, " +
+                                std::to_string(in_features_) + "], got " +
+                                input.shape_string());
+  }
+  cached_input_ = input;
+  // y[N,out] = x[N,in] * W[out,in]^T
+  tensor::Tensor out = tensor::matmul_nt(input, weight_.value);
+  if (has_bias_) {
+    const int n = out.dim(0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < out_features_; ++j) out.at(i, j) += bias_.value[j];
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
+  const int n = grad_output.dim(0);
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_features_ ||
+      n != cached_input_.dim(0)) {
+    throw std::invalid_argument("Linear::backward: bad grad shape " +
+                                grad_output.shape_string());
+  }
+  // dW[out,in] = dy[N,out]^T * x[N,in]
+  tensor::Tensor dw = tensor::matmul_tn(grad_output, cached_input_);
+  tensor::add_inplace(weight_.grad, dw);
+  if (has_bias_) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < out_features_; ++j) {
+        bias_.grad[static_cast<std::size_t>(j)] += grad_output.at(i, j);
+      }
+    }
+  }
+  // dx[N,in] = dy[N,out] * W[out,in]
+  return tensor::matmul(grad_output, weight_.value);
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace fedsu::nn

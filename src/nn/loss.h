@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss with integrated backward.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedsu::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  // logits: [N, C]; labels: N class indices in [0, C). Returns mean loss.
+  float forward(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+  // dL/dlogits for the last forward() (mean reduction).
+  tensor::Tensor backward() const;
+
+  // Class probabilities from the last forward (softmax output), [N, C].
+  const tensor::Tensor& probabilities() const { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<int> labels_;
+};
+
+// Fraction of rows whose argmax matches the label.
+float accuracy(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace fedsu::nn

@@ -1,0 +1,58 @@
+#include "nn/model.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsu::nn {
+
+Model::Model(ModulePtr root) : root_(std::move(root)) {
+  if (!root_) throw std::invalid_argument("Model: null root module");
+  root_->collect_params(params_);
+  for (const Param* p : params_) {
+    state_size_ += p->value.size();
+    if (p->trainable) trainable_size_ += p->value.size();
+  }
+}
+
+std::vector<float> Model::state_vector() const {
+  std::vector<float> out(state_size_);
+  write_state(out);
+  return out;
+}
+
+void Model::write_state(std::span<float> out) const {
+  if (out.size() != state_size_) {
+    throw std::invalid_argument("Model::write_state: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (const Param* p : params_) {
+    std::memcpy(out.data() + offset, p->value.data(),
+                sizeof(float) * p->value.size());
+    offset += p->value.size();
+  }
+}
+
+void Model::load_state_vector(std::span<const float> state) {
+  if (state.size() != state_size_) {
+    throw std::invalid_argument("Model::load_state_vector: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (Param* p : params_) {
+    std::memcpy(p->value.data(), state.data() + offset,
+                sizeof(float) * p->value.size());
+    offset += p->value.size();
+  }
+}
+
+std::vector<float> Model::grad_vector() const {
+  std::vector<float> out(state_size_);
+  std::size_t offset = 0;
+  for (const Param* p : params_) {
+    std::memcpy(out.data() + offset, p->grad.data(),
+                sizeof(float) * p->grad.size());
+    offset += p->grad.size();
+  }
+  return out;
+}
+
+}  // namespace fedsu::nn

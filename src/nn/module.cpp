@@ -1,0 +1,9 @@
+#include "nn/module.h"
+
+namespace fedsu::nn {
+
+void zero_grads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->grad.zero();
+}
+
+}  // namespace fedsu::nn

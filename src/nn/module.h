@@ -1,0 +1,54 @@
+// Layer abstraction with hand-written backward passes.
+//
+// Every Module owns its parameters (value + grad pairs) and caches whatever
+// it needs from the last forward() to run backward(). This is a deliberate
+// "tape-free" design: the FL simulator trains many small model replicas and
+// a full autograd graph would add allocation churn without buying anything
+// for these fixed feed-forward topologies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedsu::nn {
+
+// A learnable (or buffered) tensor. `trainable == false` marks state that is
+// synchronized between FL clients but not updated by the optimizer
+// (e.g. BatchNorm running statistics).
+struct Param {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+  std::string name;
+  bool trainable = true;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Runs the layer; `train` selects training-time behaviour (batch stats,
+  // dropout). Implementations may cache activations for backward().
+  virtual tensor::Tensor forward(const tensor::Tensor& input, bool train) = 0;
+
+  // Propagates `grad_output` (dL/d output) backwards, accumulating into the
+  // layer's parameter grads and returning dL/d input. Must be called after
+  // a matching forward().
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  // Appends pointers to all parameters (trainable and buffers) in a stable,
+  // deterministic order. The FL protocols rely on this order being identical
+  // across model replicas built from the same factory.
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  virtual std::string name() const = 0;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+// Zeroes the grads of every param in the list.
+void zero_grads(const std::vector<Param*>& params);
+
+}  // namespace fedsu::nn

@@ -1,0 +1,173 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fedsu::nn {
+
+namespace {
+void check_nchw(const tensor::Tensor& t, const char* who) {
+  if (t.rank() != 4) {
+    throw std::invalid_argument(std::string(who) + ": expected NCHW, got " +
+                                t.shape_string());
+  }
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(int kernel, int stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ <= 0 || stride_ <= 0) {
+    throw std::invalid_argument("MaxPool2d: non-positive kernel/stride");
+  }
+}
+
+tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool /*train*/) {
+  check_nchw(input, "MaxPool2d::forward");
+  cached_shape_ = input.shape();
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int oh = (h - kernel_) / stride_ + 1;
+  const int ow = (w - kernel_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("MaxPool2d: kernel larger than input");
+  }
+  tensor::Tensor out({n, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+  const float* x = input.data();
+  float* y = out.data();
+  std::size_t oi = 0;
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      const std::size_t plane =
+          (static_cast<std::size_t>(in) * c + ic) * h * w;
+      for (int orow = 0; orow < oh; ++orow) {
+        for (int ocol = 0; ocol < ow; ++ocol, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::uint32_t best_idx = 0;
+          for (int kr = 0; kr < kernel_; ++kr) {
+            const int r = orow * stride_ + kr;
+            for (int kc = 0; kc < kernel_; ++kc) {
+              const int col = ocol * stride_ + kc;
+              const std::size_t idx = plane + static_cast<std::size_t>(r) * w + col;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = static_cast<std::uint32_t>(idx);
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.size() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2d::backward: shape mismatch");
+  }
+  tensor::Tensor dx(cached_shape_);
+  float* p = dx.data();
+  const float* g = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) p[argmax_[i]] += g[i];
+  return dx;
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ <= 0 || stride_ <= 0) {
+    throw std::invalid_argument("AvgPool2d: non-positive kernel/stride");
+  }
+}
+
+tensor::Tensor AvgPool2d::forward(const tensor::Tensor& input, bool /*train*/) {
+  check_nchw(input, "AvgPool2d::forward");
+  cached_shape_ = input.shape();
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int oh = (h - kernel_) / stride_ + 1;
+  const int ow = (w - kernel_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("AvgPool2d: kernel larger than input");
+  }
+  tensor::Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      for (int orow = 0; orow < oh; ++orow) {
+        for (int ocol = 0; ocol < ow; ++ocol) {
+          float acc = 0.0f;
+          for (int kr = 0; kr < kernel_; ++kr) {
+            for (int kc = 0; kc < kernel_; ++kc) {
+              acc += input.at(in, ic, orow * stride_ + kr, ocol * stride_ + kc);
+            }
+          }
+          out.at(in, ic, orow, ocol) = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor AvgPool2d::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor dx(cached_shape_);
+  const int n = cached_shape_[0], c = cached_shape_[1];
+  const int oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      for (int orow = 0; orow < oh; ++orow) {
+        for (int ocol = 0; ocol < ow; ++ocol) {
+          const float g = grad_output.at(in, ic, orow, ocol) * inv;
+          for (int kr = 0; kr < kernel_; ++kr) {
+            for (int kc = 0; kc < kernel_; ++kc) {
+              dx.at(in, ic, orow * stride_ + kr, ocol * stride_ + kc) += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& input,
+                                      bool /*train*/) {
+  check_nchw(input, "GlobalAvgPool::forward");
+  cached_shape_ = input.shape();
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  tensor::Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      float acc = 0.0f;
+      for (int r = 0; r < h; ++r) {
+        for (int col = 0; col < w; ++col) acc += input.at(in, ic, r, col);
+      }
+      out.at(in, ic) = acc * inv;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor dx(cached_shape_);
+  const int n = cached_shape_[0], c = cached_shape_[1], h = cached_shape_[2],
+            w = cached_shape_[3];
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      const float g = grad_output.at(in, ic) * inv;
+      for (int r = 0; r < h; ++r) {
+        for (int col = 0; col < w; ++col) dx.at(in, ic, r, col) = g;
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace fedsu::nn

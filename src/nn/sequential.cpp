@@ -1,0 +1,31 @@
+#include "nn/sequential.h"
+
+#include <stdexcept>
+
+namespace fedsu::nn {
+
+Sequential& Sequential::add(ModulePtr module) {
+  if (!module) throw std::invalid_argument("Sequential::add: null module");
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& input, bool train) {
+  tensor::Tensor x = input;
+  for (auto& m : modules_) x = m->forward(x, train);
+  return x;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor g = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& m : modules_) m->collect_params(out);
+}
+
+}  // namespace fedsu::nn

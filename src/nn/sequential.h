@@ -1,0 +1,30 @@
+// Linear chain of modules.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fedsu::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  // Builder-style append; returns *this for chaining.
+  Sequential& add(ModulePtr module);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return modules_.size(); }
+  Module& at(std::size_t i) { return *modules_.at(i); }
+
+ private:
+  std::vector<ModulePtr> modules_;
+};
+
+}  // namespace fedsu::nn

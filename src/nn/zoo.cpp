@@ -1,0 +1,181 @@
+#include "nn/zoo.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/blocks.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace fedsu::nn {
+
+namespace {
+
+double conv_flops(int in_c, int out_c, int k, int out_hw) {
+  return 2.0 * in_c * out_c * k * k * out_hw * out_hw;
+}
+
+double linear_flops(int in_f, int out_f) { return 2.0 * in_f * out_f; }
+
+Model build_cnn(ModelSpec& spec, util::Rng& rng) {
+  // Paper §VI-A: two conv layers with kernel 5x5 and two fully-connected
+  // layers (the classic LeNet-style EMNIST CNN).
+  const int s = spec.image_size;
+  const int c1 = 8, c2 = 16, fc = 64;
+  const int s1 = s - 4;        // conv 5x5, no padding
+  const int s1p = s1 / 2;      // maxpool 2
+  const int s2 = s1p - 4;      // conv 5x5
+  const int s2p = s2 / 2;      // maxpool 2
+  if (s2p <= 0) throw std::invalid_argument("cnn: image too small");
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Conv2d>(spec.in_channels, c1, 5, rng));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<MaxPool2d>(2));
+  seq->add(std::make_unique<Conv2d>(c1, c2, 5, rng));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<MaxPool2d>(2));
+  seq->add(std::make_unique<Flatten>());
+  seq->add(std::make_unique<Linear>(c2 * s2p * s2p, fc, rng));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<Linear>(fc, spec.num_classes, rng));
+  spec.flops_per_sample = conv_flops(spec.in_channels, c1, 5, s1) +
+                          conv_flops(c1, c2, 5, s2) +
+                          linear_flops(c2 * s2p * s2p, fc) +
+                          linear_flops(fc, spec.num_classes);
+  return Model(std::move(seq));
+}
+
+Model build_resnet(ModelSpec& spec, util::Rng& rng) {
+  const int s = spec.image_size;
+  const int base = 8;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Conv2d>(spec.in_channels, base, 3, rng, 1, 1,
+                                    /*bias=*/false));
+  seq->add(std::make_unique<BatchNorm2d>(base));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<ResidualBlock>(base, base, 1, rng));
+  seq->add(std::make_unique<ResidualBlock>(base, 2 * base, 2, rng));
+  seq->add(std::make_unique<ResidualBlock>(2 * base, 4 * base, 2, rng));
+  seq->add(std::make_unique<GlobalAvgPool>());
+  seq->add(std::make_unique<Linear>(4 * base, spec.num_classes, rng));
+  const int s2 = (s + 1) / 2;
+  const int s4 = (s2 + 1) / 2;
+  spec.flops_per_sample =
+      conv_flops(spec.in_channels, base, 3, s) +
+      2 * conv_flops(base, base, 3, s) +               // stage 1
+      conv_flops(base, 2 * base, 3, s2) +              // stage 2
+      conv_flops(2 * base, 2 * base, 3, s2) +
+      conv_flops(2 * base, 4 * base, 3, s4) +          // stage 3
+      conv_flops(4 * base, 4 * base, 3, s4) +
+      linear_flops(4 * base, spec.num_classes);
+  return Model(std::move(seq));
+}
+
+Model build_densenet(ModelSpec& spec, util::Rng& rng) {
+  const int s = spec.image_size;
+  const int stem = 8, growth = 6;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Conv2d>(spec.in_channels, stem, 3, rng, 1, 1,
+                                    /*bias=*/false));
+  int ch = stem;
+  double flops = conv_flops(spec.in_channels, stem, 3, s);
+  // Block 1 (3 layers) + transition halving channels and resolution.
+  for (int i = 0; i < 3; ++i) {
+    seq->add(std::make_unique<DenseLayer>(ch, growth, rng));
+    flops += conv_flops(ch, growth, 3, s);
+    ch += growth;
+  }
+  int ch_t = ch / 2;
+  seq->add(std::make_unique<TransitionLayer>(ch, ch_t, rng));
+  flops += conv_flops(ch, ch_t, 1, s);
+  ch = ch_t;
+  const int s2 = s / 2;
+  // Block 2 (3 layers) + transition.
+  for (int i = 0; i < 3; ++i) {
+    seq->add(std::make_unique<DenseLayer>(ch, growth, rng));
+    flops += conv_flops(ch, growth, 3, s2);
+    ch += growth;
+  }
+  ch_t = ch / 2;
+  seq->add(std::make_unique<TransitionLayer>(ch, ch_t, rng));
+  flops += conv_flops(ch, ch_t, 1, s2);
+  ch = ch_t;
+  const int s4 = s2 / 2;
+  // Block 3 (2 layers) + head.
+  for (int i = 0; i < 2; ++i) {
+    seq->add(std::make_unique<DenseLayer>(ch, growth, rng));
+    flops += conv_flops(ch, growth, 3, s4);
+    ch += growth;
+  }
+  seq->add(std::make_unique<BatchNorm2d>(ch));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<GlobalAvgPool>());
+  seq->add(std::make_unique<Linear>(ch, spec.num_classes, rng));
+  flops += linear_flops(ch, spec.num_classes);
+  spec.flops_per_sample = flops;
+  return Model(std::move(seq));
+}
+
+Model build_mlp(ModelSpec& spec, util::Rng& rng) {
+  const int in = spec.in_channels * spec.image_size * spec.image_size;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Flatten>());
+  seq->add(std::make_unique<Linear>(in, spec.hidden, rng));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<Linear>(spec.hidden, spec.num_classes, rng));
+  spec.flops_per_sample =
+      linear_flops(in, spec.hidden) + linear_flops(spec.hidden, spec.num_classes);
+  return Model(std::move(seq));
+}
+
+Model build_logistic(ModelSpec& spec, util::Rng& rng) {
+  const int in = spec.in_channels * spec.image_size * spec.image_size;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Flatten>());
+  seq->add(std::make_unique<Linear>(in, spec.num_classes, rng));
+  spec.flops_per_sample = linear_flops(in, spec.num_classes);
+  return Model(std::move(seq));
+}
+
+}  // namespace
+
+Model build_model(ModelSpec& spec, util::Rng rng) {
+  if (spec.arch == "cnn") return build_cnn(spec, rng);
+  if (spec.arch == "resnet") return build_resnet(spec, rng);
+  if (spec.arch == "densenet") return build_densenet(spec, rng);
+  if (spec.arch == "mlp") return build_mlp(spec, rng);
+  if (spec.arch == "logistic") return build_logistic(spec, rng);
+  throw std::invalid_argument("build_model: unknown architecture '" +
+                              spec.arch + "'");
+}
+
+ModelSpec paper_spec(const std::string& dataset, int num_classes) {
+  ModelSpec spec;
+  spec.num_classes = num_classes;
+  if (dataset == "emnist") {
+    spec.arch = "cnn";
+    spec.in_channels = 1;
+    spec.image_size = 28;
+  } else if (dataset == "fmnist") {
+    spec.arch = "resnet";
+    spec.in_channels = 1;
+    spec.image_size = 28;
+  } else if (dataset == "cifar") {
+    spec.arch = "densenet";
+    spec.in_channels = 3;
+    spec.image_size = 32;
+  } else {
+    throw std::invalid_argument("paper_spec: unknown dataset '" + dataset + "'");
+  }
+  return spec;
+}
+
+std::vector<std::string> known_architectures() {
+  return {"cnn", "resnet", "densenet", "mlp", "logistic"};
+}
+
+}  // namespace fedsu::nn

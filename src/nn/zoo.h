@@ -1,0 +1,49 @@
+// Model zoo: the paper's three workloads (scaled to 1 vCPU) plus MLP and
+// logistic models for fast tests.
+//
+// Architectures:
+//   "cnn"      — the paper's EMNIST CNN verbatim: 2 conv (5x5) + 2 FC.
+//   "resnet"   — ResNet-style with 3 residual stages (stands in for the
+//                paper's ResNet-18 on FMNIST).
+//   "densenet" — DenseNet-style with 3 dense blocks, growth 6 (stands in
+//                for DenseNet-121 on CIFAR-10).
+//   "mlp"      — flatten + 2 FC, for unit/integration tests.
+//   "logistic" — flatten + 1 FC, convex-ish, for protocol tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace fedsu::nn {
+
+struct ModelSpec {
+  std::string arch;
+  int in_channels = 1;
+  int image_size = 28;
+  int num_classes = 10;
+  // Hidden size for "mlp"; ignored elsewhere.
+  int hidden = 64;
+
+  // Approximate multiply-accumulate count of one forward pass per sample,
+  // used by the simulated compute-time model. Filled in by build_model.
+  double flops_per_sample = 0.0;
+};
+
+// Builds a model for the spec. `rng` drives weight init; two models built
+// from the same spec+seed are bit-identical replicas.
+// Updates spec.flops_per_sample as a side effect of construction.
+Model build_model(ModelSpec& spec, util::Rng rng);
+
+// Convenience: returns the spec the paper pairs with each dataset keyword
+// ("emnist" -> cnn/28x28x1, "fmnist" -> resnet/28x28x1,
+//  "cifar" -> densenet/32x32x3).
+ModelSpec paper_spec(const std::string& dataset, int num_classes = 10);
+
+// All architecture names build_model accepts.
+std::vector<std::string> known_architectures();
+
+}  // namespace fedsu::nn

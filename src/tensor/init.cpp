@@ -1,0 +1,32 @@
+#include "tensor/init.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::tensor {
+
+void kaiming_normal(Tensor& t, int fan_in, util::Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("kaiming_normal: fan_in <= 0");
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& t, int fan_in, int fan_out, util::Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform: non-positive fan");
+  }
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void normal_init(Tensor& t, float mean, float stddev, util::Rng& rng) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+}  // namespace fedsu::tensor

@@ -1,0 +1,208 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsu::tensor {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_string() + " vs " + b.shape_string());
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  float* o = out.data();
+  const float* q = b.data();
+  for (std::size_t i = 0; i < out.size(); ++i) o[i] *= q[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  float* o = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) o[i] *= s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* p = a.data();
+  const float* q = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) p[i] += q[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub_inplace");
+  float* p = a.data();
+  const float* q = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) p[i] -= q[i];
+}
+
+void axpy(Tensor& y, float alpha, const Tensor& x) {
+  check_same_shape(y, x, "axpy");
+  float* p = y.data();
+  const float* q = x.data();
+  for (std::size_t i = 0; i < y.size(); ++i) p[i] += alpha * q[i];
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                a.shape_string() + " x " + b.shape_string());
+  }
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int l = 0; l < k; ++l) {
+      const float av = pa[static_cast<std::size_t>(i) * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<std::size_t>(l) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("matmul_tn: incompatible shapes " +
+                                a.shape_string() + " x " + b.shape_string());
+  }
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int l = 0; l < k; ++l) {
+    const float* arow = pa + static_cast<std::size_t>(l) * m;
+    const float* brow = pb + static_cast<std::size_t>(l) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("matmul_nt: incompatible shapes " +
+                                a.shape_string() + " x " + b.shape_string());
+  }
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.empty()) return 0.0f;
+  return sum(a) / static_cast<float>(a.size());
+}
+
+float max_value(const Tensor& a) {
+  if (a.empty()) throw std::invalid_argument("max_value: empty tensor");
+  return *std::max_element(a.data(), a.data() + a.size());
+}
+
+float min_value(const Tensor& a) {
+  if (a.empty()) throw std::invalid_argument("min_value: empty tensor");
+  return *std::min_element(a.data(), a.data() + a.size());
+}
+
+std::size_t argmax(const float* begin, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (begin[i] > begin[best]) best = i;
+  }
+  return best;
+}
+
+float l2_norm(const Tensor& a) { return l2_norm(a.vec()); }
+
+float l2_norm(const std::vector<float>& a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float dot(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+void vec_axpy(std::vector<float>& y, float alpha, const std::vector<float>& x) {
+  if (y.size() != x.size()) throw std::invalid_argument("vec_axpy: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<float> vec_sub(const std::vector<float>& a,
+                           const std::vector<float>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vec_sub: size mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+float vec_l2_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vec_l2_diff: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace fedsu::tensor

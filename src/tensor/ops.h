@@ -1,0 +1,49 @@
+// Free-function tensor operations. All shape errors throw
+// std::invalid_argument; hot paths use raw loops the compiler vectorizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedsu::tensor {
+
+// --- elementwise (out-of-place) ---
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+
+// --- elementwise (in-place on `a`) ---
+void add_inplace(Tensor& a, const Tensor& b);
+void sub_inplace(Tensor& a, const Tensor& b);
+void axpy(Tensor& y, float alpha, const Tensor& x);  // y += alpha * x
+
+// --- matmul ---
+// C[m,n] = A[m,k] * B[k,n]. Plain ikj loop with accumulation rows; fast
+// enough for the scaled models in this repo.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C[m,n] = A[k,m]^T * B[k,n]
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// C[m,n] = A[m,k] * B[n,k]^T
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// --- reductions ---
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+std::size_t argmax(const float* begin, std::size_t n);
+// L2 norm of the flat buffer.
+float l2_norm(const Tensor& a);
+float l2_norm(const std::vector<float>& a);
+
+// --- vector helpers used by the FL protocols (flat float vectors) ---
+float dot(const std::vector<float>& a, const std::vector<float>& b);
+void vec_axpy(std::vector<float>& y, float alpha, const std::vector<float>& x);
+std::vector<float> vec_sub(const std::vector<float>& a,
+                           const std::vector<float>& b);
+float vec_l2_diff(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace fedsu::tensor

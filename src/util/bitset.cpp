@@ -1,0 +1,82 @@
+#include "util/bitset.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace fedsu::util {
+
+PackedBitset::PackedBitset(std::size_t size)
+    : size_(size), words_((size + 63) / 64, 0) {}
+
+PackedBitset PackedBitset::pack(const std::vector<std::uint8_t>& mask) {
+  PackedBitset out(mask.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) out.words_[i / 64] |= (1ULL << (i % 64));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> PackedBitset::unpack() const {
+  std::vector<std::uint8_t> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = test(i) ? 1 : 0;
+  }
+  return out;
+}
+
+bool PackedBitset::test(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("PackedBitset::test");
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void PackedBitset::set(std::size_t i, bool value) {
+  if (i >= size_) throw std::out_of_range("PackedBitset::set");
+  if (value) {
+    words_[i / 64] |= (1ULL << (i % 64));
+  } else {
+    words_[i / 64] &= ~(1ULL << (i % 64));
+  }
+}
+
+std::size_t PackedBitset::count() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t PackedBitset::wire_bytes() const {
+  return sizeof(std::uint64_t) + words_.size() * sizeof(std::uint64_t);
+}
+
+std::vector<std::uint8_t> PackedBitset::serialize() const {
+  std::vector<std::uint8_t> bytes(wire_bytes());
+  const std::uint64_t header = size_;
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  std::memcpy(bytes.data() + sizeof(header), words_.data(),
+              words_.size() * sizeof(std::uint64_t));
+  return bytes;
+}
+
+PackedBitset PackedBitset::deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < sizeof(std::uint64_t)) {
+    throw std::invalid_argument("PackedBitset::deserialize: truncated header");
+  }
+  std::uint64_t size = 0;
+  std::memcpy(&size, bytes.data(), sizeof(size));
+  PackedBitset out(static_cast<std::size_t>(size));
+  const std::size_t expected =
+      sizeof(std::uint64_t) + out.words_.size() * sizeof(std::uint64_t);
+  if (bytes.size() != expected) {
+    throw std::invalid_argument("PackedBitset::deserialize: size mismatch");
+  }
+  std::memcpy(out.words_.data(), bytes.data() + sizeof(std::uint64_t),
+              out.words_.size() * sizeof(std::uint64_t));
+  // Clear any stray bits beyond `size` so equality semantics hold.
+  if (size % 64 != 0 && !out.words_.empty()) {
+    out.words_.back() &= (1ULL << (size % 64)) - 1;
+  }
+  return out;
+}
+
+}  // namespace fedsu::util

@@ -1,0 +1,40 @@
+// Packed bitmask: the wire format a late-joining FedSU client downloads the
+// predictability mask in (1 bit per parameter, paper §V).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedsu::util {
+
+class PackedBitset {
+ public:
+  PackedBitset() = default;
+  explicit PackedBitset(std::size_t size);
+
+  // Packs a byte-per-entry mask (non-zero => set).
+  static PackedBitset pack(const std::vector<std::uint8_t>& mask);
+  // Expands back to a byte-per-entry mask.
+  std::vector<std::uint8_t> unpack() const;
+
+  std::size_t size() const { return size_; }
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  std::size_t count() const;
+
+  // Serialized wire size: 8-byte length header + packed words.
+  std::size_t wire_bytes() const;
+  std::vector<std::uint8_t> serialize() const;
+  static PackedBitset deserialize(const std::vector<std::uint8_t>& bytes);
+
+  bool operator==(const PackedBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fedsu::util

@@ -1,0 +1,51 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Supports `--name value` and `--name=value`; unknown flags abort with a
+// usage listing so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedsu::util {
+
+class Flags {
+ public:
+  // Registration returns *this for chaining.
+  Flags& add_int(const std::string& name, long long def, const std::string& help);
+  Flags& add_double(const std::string& name, double def, const std::string& help);
+  Flags& add_string(const std::string& name, const std::string& def,
+                    const std::string& help);
+  Flags& add_bool(const std::string& name, bool def, const std::string& help);
+
+  // Parses argv. On `--help` prints usage and returns false (caller should
+  // exit 0). Throws std::runtime_error on unknown flags or bad values.
+  bool parse(int argc, char** argv);
+
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Entry {
+    Type type;
+    std::string help;
+    long long int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  const Entry& find(const std::string& name, Type type) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace fedsu::util

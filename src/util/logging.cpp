@@ -1,0 +1,57 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fedsu::util {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << log_level_name(level) << " " << basename_of(file) << ":"
+            << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  stream_ << "\n";
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fputs(text.c_str(), level_ >= LogLevel::kWarn ? stderr : stdout);
+}
+
+}  // namespace fedsu::util

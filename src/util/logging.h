@@ -1,0 +1,57 @@
+// Minimal leveled logger used across the FedSU codebase.
+//
+// Design notes:
+//  * Header-light: formatting is done with iostreams via a RAII line object,
+//    so call sites read `LOG_INFO() << "round " << r;`.
+//  * Thread-safe at line granularity (a single mutex guards the sink).
+//  * The global level can be changed at runtime (e.g. from --verbose flags).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fedsu::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Returns the mutable global minimum level. Messages below it are dropped.
+LogLevel& log_level();
+
+const char* log_level_name(LogLevel level);
+
+// One log line. Accumulates into a buffer and flushes (with a trailing
+// newline) on destruction so interleaved threads never split a line.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fedsu::util
+
+#define FEDSU_LOG(level) ::fedsu::util::LogLine(level, __FILE__, __LINE__)
+#define LOG_DEBUG() FEDSU_LOG(::fedsu::util::LogLevel::kDebug)
+#define LOG_INFO() FEDSU_LOG(::fedsu::util::LogLevel::kInfo)
+#define LOG_WARN() FEDSU_LOG(::fedsu::util::LogLevel::kWarn)
+#define LOG_ERROR() FEDSU_LOG(::fedsu::util::LogLevel::kError)

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "net/flow_sim.h"
+#include "net/round_timeline.h"
+
+namespace fedsu::net {
+namespace {
+
+TEST(MaxMinFair, EqualFlowsShareEqually) {
+  const auto rates = max_min_fair_rates({100.0, 100.0, 100.0, 100.0}, 40.0);
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 10.0);
+}
+
+TEST(MaxMinFair, CappedFlowGetsCapRestShareRemainder) {
+  // Capacity 30, caps {5, 100, 100}: capped flow takes 5, others 12.5 each.
+  const auto rates = max_min_fair_rates({5.0, 100.0, 100.0}, 30.0);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 12.5);
+  EXPECT_DOUBLE_EQ(rates[2], 12.5);
+}
+
+TEST(MaxMinFair, AllCapsUnderCapacityGiveCaps) {
+  const auto rates = max_min_fair_rates({3.0, 4.0}, 100.0);
+  EXPECT_DOUBLE_EQ(rates[0], 3.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+}
+
+TEST(MaxMinFair, CascadingFreeze) {
+  // Capacity 12, caps {2, 5, 100}: pass1 fair=4 freezes 2; pass2 fair=5
+  // freezes 5; pass3 the last gets 5.
+  const auto rates = max_min_fair_rates({2.0, 5.0, 100.0}, 12.0);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(rates[2], 5.0);
+}
+
+TEST(MaxMinFair, TotalNeverExceedsCapacity) {
+  const auto rates = max_min_fair_rates({7.0, 9.0, 13.0, 2.0}, 20.0);
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_LE(total, 20.0 + 1e-9);
+}
+
+TEST(MaxMinFair, Errors) {
+  EXPECT_THROW(max_min_fair_rates({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(max_min_fair_rates({0.0}, 1.0), std::invalid_argument);
+  EXPECT_TRUE(max_min_fair_rates({}, 1.0).empty());
+}
+
+TEST(FlowSim, SingleFlowClientCapped) {
+  // 1 MB at 8 Mbps cap over a fat bottleneck: exactly 1 second.
+  std::vector<Flow> flows{{0.0, 1e6, 8e6}};
+  const auto results = simulate_shared_link(flows, 1e12);
+  EXPECT_NEAR(results[0].finish_time_s, 1.0, 1e-9);
+}
+
+TEST(FlowSim, SingleFlowBottleneckCapped) {
+  std::vector<Flow> flows{{0.0, 1e6, 1e12}};
+  const auto results = simulate_shared_link(flows, 8e6);
+  EXPECT_NEAR(results[0].finish_time_s, 1.0, 1e-9);
+}
+
+TEST(FlowSim, TwoEqualFlowsHalveThroughput) {
+  // Two 1 MB flows over an 8 Mbps bottleneck: both finish at 2 s.
+  std::vector<Flow> flows{{0.0, 1e6, 1e12}, {0.0, 1e6, 1e12}};
+  const auto results = simulate_shared_link(flows, 8e6);
+  EXPECT_NEAR(results[0].finish_time_s, 2.0, 1e-9);
+  EXPECT_NEAR(results[1].finish_time_s, 2.0, 1e-9);
+}
+
+TEST(FlowSim, ShortFlowFinishesThenLongSpeedsUp) {
+  // Flow A: 1 MB, flow B: 3 MB, bottleneck 8 Mbps (1 MB/s).
+  // Shared 0.5 MB/s each until A done at t=2 (A moved 1 MB);
+  // B then has 2 MB left at full 1 MB/s -> done at t=4.
+  std::vector<Flow> flows{{0.0, 1e6, 1e12}, {0.0, 3e6, 1e12}};
+  const auto results = simulate_shared_link(flows, 8e6);
+  EXPECT_NEAR(results[0].finish_time_s, 2.0, 1e-6);
+  EXPECT_NEAR(results[1].finish_time_s, 4.0, 1e-6);
+}
+
+TEST(FlowSim, StaggeredArrivalGetsFullLinkFirst) {
+  // Flow A starts at 0 with 1 MB; flow B arrives at 0.5 s with 1 MB; the
+  // bottleneck moves 1 MB/s. A alone for 0.5 s (0.5 MB left), then both at
+  // 0.5 MB/s: A done at 1.5 s with B at 0.5 MB left, then B alone at full
+  // rate -> done at 2.0 s.
+  std::vector<Flow> flows{{0.0, 1e6, 1e12}, {0.5, 1e6, 1e12}};
+  const auto results = simulate_shared_link(flows, 8e6);
+  EXPECT_NEAR(results[0].finish_time_s, 1.5, 1e-6);
+  EXPECT_NEAR(results[1].finish_time_s, 2.0, 1e-6);
+}
+
+TEST(FlowSim, ZeroByteFlowFinishesAtStart) {
+  std::vector<Flow> flows{{3.0, 0.0, 1e6}, {0.0, 1e6, 1e12}};
+  const auto results = simulate_shared_link(flows, 8e6);
+  EXPECT_DOUBLE_EQ(results[0].finish_time_s, 3.0);
+  EXPECT_NEAR(results[1].finish_time_s, 1.0, 1e-9);
+}
+
+TEST(FlowSim, IdleGapBeforeLateArrival) {
+  std::vector<Flow> flows{{5.0, 1e6, 1e12}};
+  const auto results = simulate_shared_link(flows, 8e6);
+  EXPECT_NEAR(results[0].finish_time_s, 6.0, 1e-9);
+}
+
+TEST(FlowSim, RejectsBadInput) {
+  EXPECT_THROW(simulate_shared_link({{0.0, -1.0, 1.0}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_shared_link({{0.0, 1.0, 0.0}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_shared_link({{0.0, 1.0, 1.0}}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(FlowSim, ConservesWork) {
+  // Total bytes / bottleneck is a lower bound on the makespan; with one
+  // continuously-busy bottleneck it is exact once all flows have arrived
+  // at time 0 and caps exceed the fair share.
+  std::vector<Flow> flows;
+  double total_bytes = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    flows.push_back({0.0, 1e6 * (i + 1), 1e12});
+    total_bytes += 1e6 * (i + 1);
+  }
+  const auto results = simulate_shared_link(flows, 8e6);
+  double makespan = 0.0;
+  for (const auto& r : results) makespan = std::max(makespan, r.finish_time_s);
+  EXPECT_NEAR(makespan, total_bytes * 8.0 / 8e6, 1e-6);
+}
+
+TEST(RoundTimeline, TwoPhaseStructure) {
+  RoundTimelineInput input;
+  input.compute_done_s = {1.0, 2.0};
+  input.bytes_up = {1e6, 1e6};
+  input.bytes_down = {1e6, 1e6};
+  input.client_rate_bps = {8e6, 8e6};
+  input.server_bps = 1e12;  // client-capped
+  const auto result = simulate_round(input);
+  // Uploads: client 0 done at 2.0, client 1 at 3.0 (1 s each, caps bind).
+  EXPECT_NEAR(result.upload_done_s[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.upload_done_s[1], 3.0, 1e-9);
+  EXPECT_NEAR(result.broadcast_start_s, 3.0, 1e-9);
+  // Downloads start together and take 1 s each.
+  EXPECT_NEAR(result.round_done_s[0], 4.0, 1e-9);
+  EXPECT_NEAR(result.round_end_s, 4.0, 1e-9);
+}
+
+TEST(RoundTimeline, ServerBottleneckSerializesBroadcast) {
+  RoundTimelineInput input;
+  input.compute_done_s = {0.0, 0.0};
+  input.bytes_up = {0.0, 0.0};  // nothing to upload
+  input.bytes_down = {1e6, 1e6};
+  input.client_rate_bps = {1e12, 1e12};
+  input.server_bps = 8e6;  // 1 MB/s shared
+  const auto result = simulate_round(input);
+  EXPECT_NEAR(result.broadcast_start_s, 0.0, 1e-9);
+  EXPECT_NEAR(result.round_end_s, 2.0, 1e-9);  // 2 MB over 1 MB/s
+}
+
+TEST(RoundTimeline, RejectsMismatchedInputs) {
+  RoundTimelineInput input;
+  input.compute_done_s = {0.0};
+  EXPECT_THROW(simulate_round(input), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsu::net

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "metrics/convergence.h"
+#include "metrics/stats.h"
+
+namespace fedsu::metrics {
+namespace {
+
+TEST(Cdf, QuantilesOfKnownSamples) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_NEAR(cdf.quantile(0.5), 51.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, FractionBelow) {
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(100.0), 1.0);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Cdf cdf;
+  for (int i = 0; i < 37; ++i) cdf.add(37 - i);
+  const auto curve = cdf.curve(10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(Cdf, ErrorsOnMisuse) {
+  Cdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  cdf.add(1.0);
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.curve(1), std::invalid_argument);
+}
+
+TEST(NormalizedDifference, FirstObservationHasNoReference) {
+  NormalizedDifference nd;
+  EXPECT_LT(nd.observe({1.0f, 0.0f}), 0.0);
+  EXPECT_TRUE(nd.history().empty());
+}
+
+TEST(NormalizedDifference, IdenticalUpdatesGiveZero) {
+  NormalizedDifference nd;
+  nd.observe({1.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(nd.observe({1.0f, 2.0f}), 0.0);
+}
+
+TEST(NormalizedDifference, KnownValue) {
+  NormalizedDifference nd;
+  nd.observe({3.0f, 4.0f});             // norm 5
+  const double v = nd.observe({3.0f, 1.0f});  // diff (0, -3), norm 3
+  EXPECT_NEAR(v, 3.0 / 5.0, 1e-9);
+  EXPECT_EQ(nd.history().size(), 1u);
+}
+
+TEST(NormalizedDifference, SizeMismatchThrows) {
+  NormalizedDifference nd;
+  nd.observe({1.0f});
+  EXPECT_THROW(nd.observe({1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Trajectory, RecordsSelectedIndices) {
+  TrajectoryRecorder recorder({0, 2});
+  recorder.record({1.0f, 2.0f, 3.0f});
+  recorder.record({4.0f, 5.0f, 6.0f});
+  ASSERT_EQ(recorder.series().size(), 2u);
+  EXPECT_EQ(recorder.series()[0], (std::vector<float>{1.0f, 4.0f}));
+  EXPECT_EQ(recorder.series()[1], (std::vector<float>{3.0f, 6.0f}));
+  EXPECT_THROW(recorder.record({1.0f}), std::out_of_range);
+}
+
+fl::RoundRecord record_of(int round, double elapsed, std::optional<float> acc) {
+  fl::RoundRecord r;
+  r.round = round;
+  r.elapsed_time_s = elapsed;
+  r.test_accuracy = acc;
+  return r;
+}
+
+TEST(ConvergenceTracker, DetectsFirstCrossing) {
+  ConvergenceTracker tracker(0.6f);
+  tracker.observe(record_of(0, 10.0, 0.4f));
+  EXPECT_FALSE(tracker.reached());
+  tracker.observe(record_of(1, 20.0, 0.65f));
+  ASSERT_TRUE(tracker.reached());
+  EXPECT_DOUBLE_EQ(tracker.time_to_target_s(), 20.0);
+  EXPECT_EQ(tracker.rounds_to_target(), 2);
+  // Later dips don't un-reach.
+  tracker.observe(record_of(2, 30.0, 0.5f));
+  EXPECT_TRUE(tracker.reached());
+  EXPECT_DOUBLE_EQ(tracker.time_to_target_s(), 20.0);
+}
+
+TEST(ConvergenceTracker, IgnoresRoundsWithoutEval) {
+  ConvergenceTracker tracker(0.5f);
+  tracker.observe(record_of(0, 10.0, std::nullopt));
+  EXPECT_FALSE(tracker.reached());
+  EXPECT_THROW(tracker.time_to_target_s(), std::logic_error);
+}
+
+TEST(ConvergenceTracker, RejectsBadTarget) {
+  EXPECT_THROW(ConvergenceTracker(0.0f), std::invalid_argument);
+  EXPECT_THROW(ConvergenceTracker(1.5f), std::invalid_argument);
+}
+
+TEST(Summarize, AggregatesRecords) {
+  std::vector<fl::RoundRecord> records;
+  for (int r = 0; r < 4; ++r) {
+    fl::RoundRecord rec;
+    rec.round = r;
+    rec.round_time_s = 2.0;
+    rec.elapsed_time_s = 2.0 * (r + 1);
+    rec.sparsification_ratio = 0.5;
+    rec.bytes_up = 1000;
+    rec.bytes_down = 1000;
+    if (r == 3) rec.test_accuracy = 0.7f;
+    records.push_back(rec);
+  }
+  const RunSummary s = summarize(records);
+  EXPECT_EQ(s.rounds, 4);
+  EXPECT_DOUBLE_EQ(s.total_time_s, 8.0);
+  EXPECT_DOUBLE_EQ(s.mean_round_time_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_sparsification_ratio, 0.5);
+  EXPECT_NEAR(s.total_gigabytes, 8e-6, 1e-12);
+  EXPECT_FLOAT_EQ(s.final_accuracy, 0.7f);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const RunSummary s = summarize({});
+  EXPECT_EQ(s.rounds, 0);
+  EXPECT_DOUBLE_EQ(s.total_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace fedsu::metrics

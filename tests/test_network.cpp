@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "net/network_model.h"
+
+namespace fedsu::net {
+namespace {
+
+NetworkOptions flat_options() {
+  NetworkOptions options;
+  options.compute_sigma = 0.0;
+  options.bandwidth_sigma = 0.0;
+  options.round_jitter_sigma = 0.0;
+  options.base_latency_s = 0.0;
+  return options;
+}
+
+TEST(NetworkModel, ComputeTimeScalesWithFlops) {
+  NetworkOptions options = flat_options();
+  options.device_flops = 1e9;
+  NetworkModel net(2, options);
+  EXPECT_DOUBLE_EQ(net.compute_time(0, 0, 1e9), 1.0);
+  EXPECT_DOUBLE_EQ(net.compute_time(0, 0, 2e9), 2.0);
+}
+
+TEST(NetworkModel, CommTimeMatchesBandwidth) {
+  NetworkOptions options = flat_options();
+  options.client_bandwidth_bps = 8e6;  // 1 MB/s
+  NetworkModel net(1, options);
+  // 1 MB up + 1 MB down at 1 MB/s each = 2 s.
+  EXPECT_NEAR(net.comm_time(0, 1'000'000, 1'000'000, 1), 2.0, 1e-9);
+}
+
+TEST(NetworkModel, ZeroBytesCostNothing) {
+  NetworkModel net(1, flat_options());
+  EXPECT_DOUBLE_EQ(net.comm_time(0, 0, 0, 1), 0.0);
+}
+
+TEST(NetworkModel, LatencyAddsPerDirection) {
+  NetworkOptions options = flat_options();
+  options.base_latency_s = 0.1;
+  options.client_bandwidth_bps = 8e9;  // negligible transfer time
+  NetworkModel net(1, options);
+  EXPECT_NEAR(net.comm_time(0, 100, 0, 1), 0.1, 1e-3);
+  EXPECT_NEAR(net.comm_time(0, 100, 100, 1), 0.2, 1e-3);
+}
+
+TEST(NetworkModel, ServerLinkSharedAcrossClients) {
+  NetworkOptions options = flat_options();
+  options.client_bandwidth_bps = 1e12;  // client link not the bottleneck
+  options.server_bandwidth_bps = 8e6;
+  NetworkModel net(1, options);
+  const double alone = net.comm_time(0, 1'000'000, 0, 1);
+  const double crowded = net.comm_time(0, 1'000'000, 0, 10);
+  EXPECT_NEAR(crowded, 10.0 * alone, 1e-6);
+}
+
+TEST(NetworkModel, HeterogeneityIsDeterministic) {
+  NetworkOptions options;
+  options.seed = 5;
+  NetworkModel a(8, options), b(8, options);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a.compute_time(i, 3, 1e9), b.compute_time(i, 3, 1e9));
+    EXPECT_DOUBLE_EQ(a.client_bandwidth_bps(i), b.client_bandwidth_bps(i));
+  }
+}
+
+TEST(NetworkModel, ClientsDifferUnderHeterogeneity) {
+  NetworkOptions options;
+  options.compute_sigma = 0.5;
+  NetworkModel net(16, options);
+  double min_t = 1e18, max_t = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    const double t = net.compute_time(i, 0, 1e9);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_GT(max_t / min_t, 1.2);
+}
+
+TEST(NetworkModel, RoundJitterVariesAcrossRounds) {
+  NetworkOptions options = flat_options();
+  options.round_jitter_sigma = 0.3;
+  NetworkModel net(1, options);
+  const double t0 = net.compute_time(0, 0, 1e9);
+  const double t1 = net.compute_time(0, 1, 1e9);
+  EXPECT_NE(t0, t1);
+}
+
+TEST(NetworkModel, AddClientsExtendsPopulation) {
+  NetworkModel net(2, flat_options());
+  EXPECT_EQ(net.num_clients(), 2);
+  net.add_clients(3);
+  EXPECT_EQ(net.num_clients(), 5);
+  EXPECT_NO_THROW(net.compute_time(4, 0, 1e9));
+}
+
+TEST(NetworkModel, BoundsChecked) {
+  NetworkModel net(2, flat_options());
+  EXPECT_THROW(net.compute_time(2, 0, 1e9), std::out_of_range);
+  EXPECT_THROW(net.comm_time(-1, 1, 1, 1), std::out_of_range);
+  EXPECT_THROW(NetworkModel(0, flat_options()), std::invalid_argument);
+}
+
+TEST(NetworkModel, ClientRoundTimeIsSum) {
+  NetworkOptions options = flat_options();
+  options.device_flops = 1e9;
+  options.client_bandwidth_bps = 8e6;
+  NetworkModel net(1, options);
+  const double t = net.client_round_time(0, 0, 1e9, 1'000'000, 0, 1);
+  EXPECT_NEAR(t, 1.0 + 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedsu::net

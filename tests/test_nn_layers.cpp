@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/blocks.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace fedsu::nn {
+namespace {
+
+using fedsu::testing::check_gradients;
+using fedsu::testing::random_tensor;
+
+TEST(Linear, ForwardShapeAndBias) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  const tensor::Tensor x = random_tensor({5, 4}, rng);
+  const tensor::Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{5, 3}));
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_THROW(layer.forward(tensor::Tensor({2, 5}), true),
+               std::invalid_argument);
+}
+
+TEST(Linear, GradCheck) {
+  util::Rng rng(2);
+  Linear layer(6, 4, rng);
+  check_gradients(layer, random_tensor({3, 6}, rng), rng);
+}
+
+TEST(Linear, GradCheckNoBias) {
+  util::Rng rng(3);
+  Linear layer(5, 2, rng, /*bias=*/false);
+  std::vector<Param*> params;
+  layer.collect_params(params);
+  EXPECT_EQ(params.size(), 1u);
+  check_gradients(layer, random_tensor({2, 5}, rng), rng);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  tensor::Tensor x({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  const tensor::Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLU, GradCheck) {
+  util::Rng rng(4);
+  ReLU relu;
+  // Shift inputs away from 0 to avoid the kink in finite differences.
+  tensor::Tensor x = random_tensor({3, 7}, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) < 0.1f) x[i] += 0.3f;
+  }
+  check_gradients(relu, x, rng);
+}
+
+TEST(Tanh, GradCheck) {
+  util::Rng rng(5);
+  Tanh tanh_layer;
+  check_gradients(tanh_layer, random_tensor({2, 6}, rng), rng);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  util::Rng rng(6);
+  Flatten flatten;
+  const tensor::Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  const tensor::Tensor y = flatten.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 48}));
+  const tensor::Tensor dx = flatten.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Conv2d, OutputShape) {
+  util::Rng rng(7);
+  Conv2d conv(3, 8, 5, rng, /*stride=*/1, /*padding=*/0);
+  const tensor::Tensor x = random_tensor({2, 3, 12, 12}, rng);
+  const tensor::Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 8, 8}));
+}
+
+TEST(Conv2d, PaddedStridedShape) {
+  util::Rng rng(8);
+  Conv2d conv(2, 4, 3, rng, /*stride=*/2, /*padding=*/1);
+  const tensor::Tensor x = random_tensor({1, 2, 9, 9}, rng);
+  const tensor::Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 4, 5, 5}));
+}
+
+TEST(Conv2d, GradCheckPlain) {
+  util::Rng rng(9);
+  Conv2d conv(2, 3, 3, rng);
+  check_gradients(conv, random_tensor({2, 2, 6, 6}, rng), rng);
+}
+
+TEST(Conv2d, GradCheckPaddedStrided) {
+  util::Rng rng(10);
+  Conv2d conv(2, 3, 3, rng, /*stride=*/2, /*padding=*/1);
+  check_gradients(conv, random_tensor({2, 2, 7, 7}, rng), rng);
+}
+
+TEST(Conv2d, GradCheckNoBias) {
+  util::Rng rng(11);
+  Conv2d conv(1, 2, 5, rng, 1, 0, /*bias=*/false);
+  check_gradients(conv, random_tensor({1, 1, 8, 8}, rng), rng);
+}
+
+TEST(Conv2d, MatchesManualConvolution) {
+  util::Rng rng(12);
+  Conv2d conv(1, 1, 3, rng, 1, 0, /*bias=*/false);
+  std::vector<Param*> params;
+  conv.collect_params(params);
+  // Identity-ish kernel: 1 at center.
+  params[0]->value.fill(0.0f);
+  params[0]->value[4] = 1.0f;
+  const tensor::Tensor x = random_tensor({1, 1, 5, 5}, rng);
+  const tensor::Tensor y = conv.forward(x, true);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(y.at(0, 0, r, c), x.at(0, 0, r + 1, c + 1));
+    }
+  }
+}
+
+TEST(MaxPool2d, ForwardSelectsMax) {
+  MaxPool2d pool(2);
+  tensor::Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  const tensor::Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  tensor::Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  (void)pool.forward(x, true);
+  tensor::Tensor g({1, 1, 1, 1}, {2.0f});
+  const tensor::Tensor dx = pool.backward(g);
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  util::Rng rng(13);
+  MaxPool2d pool(2);
+  check_gradients(pool, random_tensor({2, 3, 6, 6}, rng), rng);
+}
+
+TEST(AvgPool2d, ForwardAverages) {
+  AvgPool2d pool(2);
+  tensor::Tensor x({1, 1, 2, 2}, {1, 5, 3, 3});
+  const tensor::Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPool2d, GradCheck) {
+  util::Rng rng(14);
+  AvgPool2d pool(2);
+  check_gradients(pool, random_tensor({1, 2, 4, 4}, rng), rng);
+}
+
+TEST(GlobalAvgPool, ShapeAndGradCheck) {
+  util::Rng rng(15);
+  GlobalAvgPool pool;
+  const tensor::Tensor x = random_tensor({2, 3, 4, 5}, rng);
+  const tensor::Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+  GlobalAvgPool pool2;
+  check_gradients(pool2, random_tensor({2, 3, 4, 4}, rng), rng);
+}
+
+TEST(BatchNorm2d, NormalizesTrainingBatch) {
+  BatchNorm2d bn(2);
+  util::Rng rng(16);
+  const tensor::Tensor x = random_tensor({4, 2, 5, 5}, rng, 3.0f);
+  const tensor::Tensor y = bn.forward(x, true);
+  // Per channel: mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    int count = 0;
+    for (int n = 0; n < 4; ++n) {
+      for (int r = 0; r < 5; ++r) {
+        for (int col = 0; col < 5; ++col) {
+          const double v = y.at(n, c, r, col);
+          sum += v;
+          sq += v * v;
+          ++count;
+        }
+      }
+    }
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  util::Rng rng(17);
+  // Enough training passes for the EMA running stats to converge.
+  for (int i = 0; i < 80; ++i) {
+    tensor::Tensor x = random_tensor({8, 1, 3, 3}, rng);
+    for (std::size_t j = 0; j < x.size(); ++j) x[j] = 2.0f * x[j] + 5.0f;
+    (void)bn.forward(x, true);
+  }
+  // Eval on a constant input: output should be ~(input - 5) / 2.
+  tensor::Tensor x = tensor::Tensor::full({1, 1, 3, 3}, 7.0f);
+  const tensor::Tensor y = bn.forward(x, false);
+  EXPECT_NEAR(y[0], 1.0f, 0.2f);
+}
+
+TEST(BatchNorm2d, GradCheck) {
+  util::Rng rng(18);
+  BatchNorm2d bn(3);
+  check_gradients(bn, random_tensor({4, 3, 3, 3}, rng), rng);
+}
+
+TEST(BatchNorm2d, BuffersMarkedNonTrainable) {
+  BatchNorm2d bn(4);
+  std::vector<Param*> params;
+  bn.collect_params(params);
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_TRUE(params[0]->trainable);   // gamma
+  EXPECT_TRUE(params[1]->trainable);   // beta
+  EXPECT_FALSE(params[2]->trainable);  // running mean
+  EXPECT_FALSE(params[3]->trainable);  // running var
+}
+
+TEST(ResidualBlock, IdentityShapePreserved) {
+  util::Rng rng(19);
+  ResidualBlock block(4, 4, 1, rng);
+  const tensor::Tensor x = random_tensor({2, 4, 6, 6}, rng);
+  EXPECT_EQ(block.forward(x, true).shape(), x.shape());
+}
+
+TEST(ResidualBlock, ProjectionChangesShape) {
+  util::Rng rng(20);
+  ResidualBlock block(4, 8, 2, rng);
+  const tensor::Tensor x = random_tensor({2, 4, 6, 6}, rng);
+  const tensor::Tensor y = block.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 3, 3}));
+}
+
+TEST(ResidualBlock, GradCheckIdentity) {
+  util::Rng rng(21);
+  ResidualBlock block(3, 3, 1, rng);
+  // 10% median tolerance: the residual sum feeds an un-normalized ReLU, so
+  // directional probes cross kinks more often than in the projection case.
+  fedsu::testing::check_gradients_directional(
+      block, random_tensor({3, 3, 4, 4}, rng), rng, 9, 0.10);
+}
+
+TEST(ResidualBlock, GradCheckProjection) {
+  util::Rng rng(22);
+  ResidualBlock block(2, 4, 2, rng);
+  fedsu::testing::check_gradients_directional(
+      block, random_tensor({3, 2, 4, 4}, rng), rng);
+}
+
+TEST(DenseLayer, ConcatenatesChannels) {
+  util::Rng rng(23);
+  DenseLayer layer(3, 2, rng);
+  const tensor::Tensor x = random_tensor({2, 3, 5, 5}, rng);
+  const tensor::Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 5, 5, 5}));
+  // The first 3 channels pass through unchanged.
+  for (int n = 0; n < 2; ++n) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(y.at(n, c, 2, 2), x.at(n, c, 2, 2));
+    }
+  }
+}
+
+TEST(DenseLayer, GradCheck) {
+  util::Rng rng(24);
+  DenseLayer layer(2, 2, rng);
+  fedsu::testing::check_gradients_directional(
+      layer, random_tensor({2, 2, 4, 4}, rng), rng);
+}
+
+TEST(TransitionLayer, HalvesResolution) {
+  util::Rng rng(25);
+  TransitionLayer layer(6, 3, rng);
+  const tensor::Tensor x = random_tensor({2, 6, 8, 8}, rng);
+  const tensor::Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3, 4, 4}));
+}
+
+TEST(TransitionLayer, GradCheck) {
+  util::Rng rng(26);
+  TransitionLayer layer(4, 2, rng);
+  fedsu::testing::check_gradients_directional(
+      layer, random_tensor({2, 4, 4, 4}, rng), rng);
+}
+
+TEST(Sequential, ChainsAndCollects) {
+  util::Rng rng(27);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(8, 6, rng))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Linear>(6, 3, rng));
+  const tensor::Tensor x = random_tensor({2, 8}, rng);
+  EXPECT_EQ(seq.forward(x, true).shape(), (std::vector<int>{2, 3}));
+  std::vector<Param*> params;
+  seq.collect_params(params);
+  EXPECT_EQ(params.size(), 4u);
+  EXPECT_THROW(seq.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, GradCheck) {
+  util::Rng rng(28);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(5, 4, rng))
+      .add(std::make_unique<Tanh>())
+      .add(std::make_unique<Linear>(4, 2, rng));
+  check_gradients(seq, random_tensor({3, 5}, rng), rng);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({2, 4});
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0f), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng(29);
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits = random_tensor({3, 5}, rng);
+  const std::vector<int> labels{1, 4, 0};
+  (void)loss.forward(logits, labels);
+  const tensor::Tensor grad = loss.backward();
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    SoftmaxCrossEntropy probe;
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(eps);
+    const double plus = probe.forward(logits, labels);
+    logits[i] = saved - static_cast<float>(eps);
+    const double minus = probe.forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (plus - minus) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ProbabilitiesSumToOne) {
+  util::Rng rng(30);
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits = random_tensor({4, 6}, rng, 5.0f);
+  (void)loss.forward(logits, {0, 1, 2, 3});
+  const tensor::Tensor& probs = loss.probabilities();
+  for (int i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 6; ++j) sum += probs.at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(logits, {-1}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  Dropout drop(0.5f, util::Rng(1));
+  util::Rng rng(2);
+  const tensor::Tensor x = random_tensor({3, 5}, rng);
+  const tensor::Tensor y = drop.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainDropsAndRescales) {
+  Dropout drop(0.5f, util::Rng(3));
+  tensor::Tensor x = tensor::Tensor::full({1, 1000}, 1.0f);
+  const tensor::Tensor y = drop.forward(x, /*train=*/true);
+  int zeros = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // inverted-dropout rescale 1/(1-p)
+      sum += y[i];
+    }
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.07);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // expectation preserved
+}
+
+TEST(Dropout, BackwardMatchesKeepMask) {
+  Dropout drop(0.3f, util::Rng(4));
+  util::Rng rng(5);
+  tensor::Tensor x = random_tensor({2, 50}, rng);
+  const tensor::Tensor y = drop.forward(x, /*train=*/true);
+  tensor::Tensor g = tensor::Tensor::full({2, 50}, 1.0f);
+  const tensor::Tensor dx = drop.backward(g);
+  const float scale = 1.0f / 0.7f;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f && x[i] != 0.0f) {
+      EXPECT_EQ(dx[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(dx[i], scale);
+    }
+  }
+}
+
+TEST(Dropout, RejectsBadRate) {
+  EXPECT_THROW(Dropout(1.0f, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  tensor::Tensor logits({2, 3}, {0.1f, 0.9f, 0.0f, 0.8f, 0.1f, 0.1f});
+  EXPECT_FLOAT_EQ(accuracy(logits, {1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 0}), 0.5f);
+}
+
+}  // namespace
+}  // namespace fedsu::nn

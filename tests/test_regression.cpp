@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/oscillation.h"
+#include "core/regression.h"
+#include "util/rng.h"
+
+namespace fedsu::core {
+namespace {
+
+TEST(Regression, LinearSequenceHasZeroResidual) {
+  RegressionDiagnoser diag(1);
+  for (int i = 0; i < 8; ++i) diag.observe(0, 1.0f + 0.5f * i);
+  ASSERT_TRUE(diag.ready(0));
+  EXPECT_LT(diag.normalized_residual(0), 1e-4);
+  EXPECT_TRUE(diag.is_linear(0));
+  EXPECT_NEAR(diag.slope(0), 0.5, 1e-5);
+}
+
+TEST(Regression, NotReadyUntilWindowFull) {
+  RegressionOptions options;
+  options.window = 5;
+  RegressionDiagnoser diag(1, options);
+  for (int i = 0; i < 4; ++i) {
+    diag.observe(0, static_cast<float>(i));
+    EXPECT_FALSE(diag.ready(0));
+    EXPECT_FALSE(diag.is_linear(0));
+  }
+  diag.observe(0, 4.0f);
+  EXPECT_TRUE(diag.ready(0));
+}
+
+TEST(Regression, QuadraticIsNotLinear) {
+  RegressionDiagnoser diag(1);
+  for (int i = 0; i < 8; ++i) diag.observe(0, 0.5f * i * i);
+  EXPECT_FALSE(diag.is_linear(0));
+}
+
+TEST(Regression, RingBufferForgetsOldRegime) {
+  RegressionOptions options;
+  options.window = 4;
+  RegressionDiagnoser diag(1, options);
+  // Quadratic prefix, then a clean linear tail longer than the window.
+  for (int i = 0; i < 6; ++i) diag.observe(0, 0.3f * i * i);
+  EXPECT_FALSE(diag.is_linear(0));
+  float v = 100.0f;
+  for (int i = 0; i < 4; ++i) diag.observe(0, v += 1.0f);
+  EXPECT_TRUE(diag.is_linear(0));
+}
+
+TEST(Regression, OutOfRangeThrows) {
+  RegressionDiagnoser diag(2);
+  EXPECT_THROW(diag.observe(2, 1.0f), std::out_of_range);
+  EXPECT_THROW(diag.ready(5), std::out_of_range);
+  RegressionOptions bad;
+  bad.window = 2;
+  EXPECT_THROW(RegressionDiagnoser(1, bad), std::invalid_argument);
+}
+
+TEST(Regression, StateCostExceedsOscillationTracker) {
+  // The quantitative claim of §IV-A: the window method stores K floats per
+  // parameter, the oscillation ratio only O(1).
+  const std::size_t p = 1000;
+  RegressionOptions options;
+  options.window = 16;
+  RegressionDiagnoser regression(p, options);
+  OscillationTracker oscillation(p);
+  EXPECT_GT(regression.state_bytes(), 2 * oscillation.state_bytes());
+}
+
+// Both diagnosers must agree on clean inputs; the sweep feeds noisy-linear
+// trajectories with varying noise to compare verdict agreement.
+class DiagnoserAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiagnoserAgreement, CleanRegimesMatch) {
+  const double noise = GetParam();
+  util::Rng rng(31);
+  RegressionOptions roptions;
+  roptions.window = 8;
+  roptions.residual_threshold = 0.3;
+  RegressionDiagnoser regression(1, roptions);
+  OscillationTracker oscillation(1);
+
+  double value = 0.0, prev = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    prev = value;
+    value += 0.2 + noise * rng.normal();
+    regression.observe(0, static_cast<float>(value));
+    oscillation.observe(0, static_cast<float>(value - prev));
+  }
+  if (noise == 0.0) {
+    EXPECT_TRUE(regression.is_linear(0));
+    EXPECT_LT(oscillation.ratio(0), 0.01);
+  } else if (noise >= 10.0) {
+    // Both must refuse to call a noise-dominated trajectory linear under
+    // strict thresholds.
+    EXPECT_FALSE(regression.normalized_residual(0) < 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, DiagnoserAgreement,
+                         ::testing::Values(0.0, 0.01, 10.0));
+
+}  // namespace
+}  // namespace fedsu::core

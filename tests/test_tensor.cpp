@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedsu::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeDataMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeDimThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, At2dRowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, At4dNchw) {
+  Tensor t({2, 2, 2, 2});
+  t.at(1, 1, 1, 1) = 9.0f;
+  EXPECT_EQ(t[15], 9.0f);
+  t.at(0, 1, 0, 1) = 4.0f;
+  EXPECT_EQ(t[5], 4.0f);
+}
+
+TEST(Tensor, ReshapedKeepsData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3, 4}).shape_string(), "[2, 3, 4]");
+}
+
+TEST(Ops, AddSubMulScale) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  const Tensor s = add(a, b);
+  EXPECT_EQ(s[0], 5.0f);
+  const Tensor d = sub(b, a);
+  EXPECT_EQ(d[2], 3.0f);
+  const Tensor m = mul(a, b);
+  EXPECT_EQ(m[1], 10.0f);
+  const Tensor sc = scale(a, 2.0f);
+  EXPECT_EQ(sc[2], 6.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(add_inplace(a, b), std::invalid_argument);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  Tensor y({2}, {1, 1});
+  Tensor x({2}, {2, 3});
+  axpy(y, 0.5f, x);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.5f);
+}
+
+TEST(Ops, MatmulKnownResult) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulVariantsConsistent) {
+  util::Rng rng(5);
+  Tensor a({4, 3});
+  Tensor b({4, 5});
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.normal());
+  // a^T * b via matmul_tn must equal transposing manually.
+  const Tensor c = matmul_tn(a, b);  // [3, 5]
+  Tensor at({3, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Tensor ref = matmul(at, b);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+
+  // a * b2^T via matmul_nt.
+  Tensor b2({5, 3});
+  for (std::size_t i = 0; i < b2.size(); ++i) {
+    b2[i] = static_cast<float>(rng.normal());
+  }
+  const Tensor c2 = matmul_nt(a.reshaped({4, 3}), b2);  // [4, 5]
+  Tensor b2t({3, 5});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) b2t.at(j, i) = b2.at(i, j);
+  }
+  const Tensor ref2 = matmul(a, b2t);
+  for (std::size_t i = 0; i < c2.size(); ++i) EXPECT_NEAR(c2[i], ref2[i], 1e-4);
+}
+
+TEST(Ops, MatmulShapeChecks) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(matmul_tn(Tensor({2, 3}), Tensor({3, 2})), std::invalid_argument);
+  EXPECT_THROW(matmul_nt(Tensor({2, 3}), Tensor({2, 4})), std::invalid_argument);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(sum(a), -2.0f);
+  EXPECT_FLOAT_EQ(mean(a), -0.5f);
+  EXPECT_FLOAT_EQ(max_value(a), 3.0f);
+  EXPECT_FLOAT_EQ(min_value(a), -4.0f);
+  EXPECT_FLOAT_EQ(l2_norm(a), std::sqrt(30.0f));
+  EXPECT_EQ(argmax(a.data(), a.size()), 2u);
+}
+
+TEST(Ops, VectorHelpers) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+  const auto d = vec_sub(b, a);
+  EXPECT_FLOAT_EQ(d[0], 3.0f);
+  EXPECT_FLOAT_EQ(vec_l2_diff(a, b), std::sqrt(27.0f));
+  vec_axpy(a, 2.0f, b);
+  EXPECT_FLOAT_EQ(a[2], 15.0f);
+  std::vector<float> bad{1.0f};
+  EXPECT_THROW(dot(a, bad), std::invalid_argument);
+}
+
+TEST(Init, KaimingVarianceMatchesFanIn) {
+  util::Rng rng(3);
+  Tensor t({200, 50});
+  kaiming_normal(t, 50, rng);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double var = sq / static_cast<double>(t.size());
+  EXPECT_NEAR(var, 2.0 / 50.0, 0.004);
+}
+
+TEST(Init, XavierWithinBound) {
+  util::Rng rng(4);
+  Tensor t({64, 64});
+  xavier_uniform(t, 64, 64, rng);
+  const double bound = std::sqrt(6.0 / 128.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t[i]), bound + 1e-6);
+  }
+}
+
+TEST(Init, RejectsBadFan) {
+  util::Rng rng(5);
+  Tensor t({4});
+  EXPECT_THROW(kaiming_normal(t, 0, rng), std::invalid_argument);
+  EXPECT_THROW(xavier_uniform(t, 0, 4, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsu::tensor
