@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagnosis_ablation.dir/bench_diagnosis_ablation.cpp.o"
+  "CMakeFiles/bench_diagnosis_ablation.dir/bench_diagnosis_ablation.cpp.o.d"
+  "bench_diagnosis_ablation"
+  "bench_diagnosis_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnosis_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

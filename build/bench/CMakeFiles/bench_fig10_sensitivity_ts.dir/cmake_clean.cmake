@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sensitivity_ts.dir/bench_fig10_sensitivity_ts.cpp.o"
+  "CMakeFiles/bench_fig10_sensitivity_ts.dir/bench_fig10_sensitivity_ts.cpp.o.d"
+  "bench_fig10_sensitivity_ts"
+  "bench_fig10_sensitivity_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sensitivity_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

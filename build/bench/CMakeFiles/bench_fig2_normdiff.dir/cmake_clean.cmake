@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_normdiff.dir/bench_fig2_normdiff.cpp.o"
+  "CMakeFiles/bench_fig2_normdiff.dir/bench_fig2_normdiff.cpp.o.d"
+  "bench_fig2_normdiff"
+  "bench_fig2_normdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_normdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

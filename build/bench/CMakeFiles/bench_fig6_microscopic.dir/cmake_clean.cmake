@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_microscopic.dir/bench_fig6_microscopic.cpp.o"
+  "CMakeFiles/bench_fig6_microscopic.dir/bench_fig6_microscopic.cpp.o.d"
+  "bench_fig6_microscopic"
+  "bench_fig6_microscopic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_microscopic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sensitivity_tr.dir/bench_fig9_sensitivity_tr.cpp.o"
+  "CMakeFiles/bench_fig9_sensitivity_tr.dir/bench_fig9_sensitivity_tr.cpp.o.d"
+  "bench_fig9_sensitivity_tr"
+  "bench_fig9_sensitivity_tr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sensitivity_tr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

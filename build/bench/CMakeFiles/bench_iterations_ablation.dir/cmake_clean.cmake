@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterations_ablation.dir/bench_iterations_ablation.cpp.o"
+  "CMakeFiles/bench_iterations_ablation.dir/bench_iterations_ablation.cpp.o.d"
+  "bench_iterations_ablation"
+  "bench_iterations_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterations_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_bound.dir/bench_theorem1_bound.cpp.o"
+  "CMakeFiles/bench_theorem1_bound.dir/bench_theorem1_bound.cpp.o.d"
+  "bench_theorem1_bound"
+  "bench_theorem1_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_managers.dir/distributed_managers.cpp.o"
+  "CMakeFiles/distributed_managers.dir/distributed_managers.cpp.o.d"
+  "distributed_managers"
+  "distributed_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

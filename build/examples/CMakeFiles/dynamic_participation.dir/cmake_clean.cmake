@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_participation.dir/dynamic_participation.cpp.o"
+  "CMakeFiles/dynamic_participation.dir/dynamic_participation.cpp.o.d"
+  "dynamic_participation"
+  "dynamic_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

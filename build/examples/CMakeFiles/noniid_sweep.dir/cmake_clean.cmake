@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noniid_sweep.dir/noniid_sweep.cpp.o"
+  "CMakeFiles/noniid_sweep.dir/noniid_sweep.cpp.o.d"
+  "noniid_sweep"
+  "noniid_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noniid_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

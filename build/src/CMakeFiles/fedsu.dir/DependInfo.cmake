@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/apf.cpp" "src/CMakeFiles/fedsu.dir/compress/apf.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/compress/apf.cpp.o.d"
+  "/root/repo/src/compress/cmfl.cpp" "src/CMakeFiles/fedsu.dir/compress/cmfl.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/compress/cmfl.cpp.o.d"
+  "/root/repo/src/compress/fedavg.cpp" "src/CMakeFiles/fedsu.dir/compress/fedavg.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/compress/fedavg.cpp.o.d"
+  "/root/repo/src/compress/qsgd.cpp" "src/CMakeFiles/fedsu.dir/compress/qsgd.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/compress/qsgd.cpp.o.d"
+  "/root/repo/src/compress/signsgd.cpp" "src/CMakeFiles/fedsu.dir/compress/signsgd.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/compress/signsgd.cpp.o.d"
+  "/root/repo/src/compress/topk.cpp" "src/CMakeFiles/fedsu.dir/compress/topk.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/compress/topk.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "src/CMakeFiles/fedsu.dir/core/distributed.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/core/distributed.cpp.o.d"
+  "/root/repo/src/core/fedsu_manager.cpp" "src/CMakeFiles/fedsu.dir/core/fedsu_manager.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/core/fedsu_manager.cpp.o.d"
+  "/root/repo/src/core/fedsu_variants.cpp" "src/CMakeFiles/fedsu.dir/core/fedsu_variants.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/core/fedsu_variants.cpp.o.d"
+  "/root/repo/src/core/oscillation.cpp" "src/CMakeFiles/fedsu.dir/core/oscillation.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/core/oscillation.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/CMakeFiles/fedsu.dir/core/regression.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/core/regression.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/CMakeFiles/fedsu.dir/core/theory.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/core/theory.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fedsu.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "src/CMakeFiles/fedsu.dir/data/loader.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/data/loader.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/fedsu.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/fedsu.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/CMakeFiles/fedsu.dir/fl/client.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/fl/client.cpp.o.d"
+  "/root/repo/src/fl/protocol_factory.cpp" "src/CMakeFiles/fedsu.dir/fl/protocol_factory.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/fl/protocol_factory.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "src/CMakeFiles/fedsu.dir/fl/simulation.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/fl/simulation.cpp.o.d"
+  "/root/repo/src/fl/trace.cpp" "src/CMakeFiles/fedsu.dir/fl/trace.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/fl/trace.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/fedsu.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/fedsu.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/metrics/convergence.cpp" "src/CMakeFiles/fedsu.dir/metrics/convergence.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/metrics/convergence.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/CMakeFiles/fedsu.dir/metrics/stats.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/metrics/stats.cpp.o.d"
+  "/root/repo/src/net/flow_sim.cpp" "src/CMakeFiles/fedsu.dir/net/flow_sim.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/net/flow_sim.cpp.o.d"
+  "/root/repo/src/net/network_model.cpp" "src/CMakeFiles/fedsu.dir/net/network_model.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/net/network_model.cpp.o.d"
+  "/root/repo/src/net/round_timeline.cpp" "src/CMakeFiles/fedsu.dir/net/round_timeline.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/net/round_timeline.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/fedsu.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/fedsu.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/blocks.cpp" "src/CMakeFiles/fedsu.dir/nn/blocks.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/blocks.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/fedsu.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/fedsu.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/fedsu.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/fedsu.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/fedsu.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/fedsu.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/fedsu.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/CMakeFiles/fedsu.dir/nn/schedule.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/schedule.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/fedsu.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/CMakeFiles/fedsu.dir/nn/sgd.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/sgd.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/CMakeFiles/fedsu.dir/nn/zoo.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/nn/zoo.cpp.o.d"
+  "/root/repo/src/tensor/init.cpp" "src/CMakeFiles/fedsu.dir/tensor/init.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/tensor/init.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/fedsu.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/fedsu.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/bitset.cpp" "src/CMakeFiles/fedsu.dir/util/bitset.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/util/bitset.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/fedsu.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/fedsu.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/fedsu.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/fedsu.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/fedsu.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

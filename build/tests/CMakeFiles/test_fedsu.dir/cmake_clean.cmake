@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fedsu.dir/test_fedsu.cpp.o"
+  "CMakeFiles/test_fedsu.dir/test_fedsu.cpp.o.d"
+  "test_fedsu"
+  "test_fedsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fedsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_torture.dir/test_integration_torture.cpp.o"
+  "CMakeFiles/test_integration_torture.dir/test_integration_torture.cpp.o.d"
+  "test_integration_torture"
+  "test_integration_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

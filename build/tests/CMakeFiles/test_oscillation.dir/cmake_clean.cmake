@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oscillation.dir/test_oscillation.cpp.o"
+  "CMakeFiles/test_oscillation.dir/test_oscillation.cpp.o.d"
+  "test_oscillation"
+  "test_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
