@@ -31,8 +31,12 @@ int main(int argc, char** argv) {
   flags.add_double("target-cnn", 0.92, "accuracy target for the CNN");
   flags.add_double("target-resnet", 0.75, "accuracy target for the ResNet");
   flags.add_double("target-densenet", 0.85, "accuracy target for the DenseNet");
+  flags.add_bool("speedup-vs-serial", false,
+                 "rerun each task's fedavg at --threads 1 and report the "
+                 "wall-clock speedup of the configured thread count");
   if (!flags.parse(argc, argv)) return 0;
   bench::BenchConfig base = bench::config_from_flags(flags);
+  const bool speedup_vs_serial = flags.get_bool("speedup-vs-serial");
 
   const std::string models = flags.get_string("models");
   std::vector<ModelTask> tasks;
@@ -54,8 +58,11 @@ int main(int argc, char** argv) {
   const std::vector<std::string> schemes{"fedsu", "apf", "cmfl", "fedavg"};
   bench::print_header(
       "Table I: time to target accuracy (simulated seconds)");
-  std::printf("%-22s %-8s %14s %12s %14s %10s\n", "Model (target)", "Scheme",
-              "Per-round (s)", "# of Rounds", "Total time (s)", "Best acc");
+  std::printf("threads=%d (results are bitwise identical for any count)\n",
+              util::ThreadPool::resolve_threads(base.threads));
+  std::printf("%-22s %-8s %14s %12s %14s %10s %10s\n", "Model (target)",
+              "Scheme", "Per-round (s)", "# of Rounds", "Total time (s)",
+              "Best acc", "Wall (s)");
 
   std::unique_ptr<util::CsvWriter> csv;
   if (!base.csv_dir.empty()) {
@@ -69,8 +76,10 @@ int main(int argc, char** argv) {
     config.dataset = task.dataset;
     config.rounds = task.rounds;
     config.lr = task.lr;
+    double fedavg_wall_seconds = 0.0;
     for (const auto& scheme : schemes) {
       const bench::SchemeRun run = bench::run_scheme(config, scheme, task.target);
+      if (scheme == "fedavg") fedavg_wall_seconds = run.wall_seconds;
       const std::string label =
           task.dataset + "/" +
           nn::paper_spec(task.dataset).arch + " (" +
@@ -78,9 +87,10 @@ int main(int argc, char** argv) {
       if (run.rounds_to_target) {
         const double per_round =
             *run.time_to_target_s / *run.rounds_to_target;
-        std::printf("%-22s %-8s %14.2f %12d %14.1f %10.3f\n", label.c_str(),
-                    run.scheme.c_str(), per_round, *run.rounds_to_target,
-                    *run.time_to_target_s, run.summary.best_accuracy);
+        std::printf("%-22s %-8s %14.2f %12d %14.1f %10.3f %10.2f\n",
+                    label.c_str(), run.scheme.c_str(), per_round,
+                    *run.rounds_to_target, *run.time_to_target_s,
+                    run.summary.best_accuracy, run.wall_seconds);
         if (csv) {
           csv->write_row({task.dataset, scheme, util::CsvWriter::field(per_round),
                           util::CsvWriter::field(
@@ -90,9 +100,10 @@ int main(int argc, char** argv) {
                           "1"});
         }
       } else {
-        std::printf("%-22s %-8s %14.2f %12s %14s %10.3f\n", label.c_str(),
-                    run.scheme.c_str(), run.summary.mean_round_time_s,
-                    "not reached", "-", run.summary.best_accuracy);
+        std::printf("%-22s %-8s %14.2f %12s %14s %10.3f %10.2f\n",
+                    label.c_str(), run.scheme.c_str(),
+                    run.summary.mean_round_time_s, "not reached", "-",
+                    run.summary.best_accuracy, run.wall_seconds);
         if (csv) {
           csv->write_row({task.dataset, scheme,
                           util::CsvWriter::field(run.summary.mean_round_time_s),
@@ -101,6 +112,21 @@ int main(int argc, char** argv) {
                           "0"});
         }
       }
+    }
+    const int threads = util::ThreadPool::resolve_threads(base.threads);
+    if (speedup_vs_serial && threads > 1 && fedavg_wall_seconds > 0.0) {
+      // Serial reference: same workload, one thread everywhere (kernel pool
+      // included), so the ratio isolates what parallelism buys.
+      util::ThreadPool::set_global_threads(1);
+      bench::BenchConfig serial = config;
+      serial.threads = 1;
+      const bench::SchemeRun ref =
+          bench::run_scheme(serial, "fedavg", task.target);
+      util::ThreadPool::set_global_threads(base.threads);
+      std::printf("%-22s fedavg wall: %.2fs at %d threads vs %.2fs serial "
+                  "-> %.2fx speedup\n",
+                  task.dataset.c_str(), fedavg_wall_seconds, threads,
+                  ref.wall_seconds, ref.wall_seconds / fedavg_wall_seconds);
     }
     std::printf("\n");
   }

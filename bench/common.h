@@ -17,6 +17,8 @@
 #include "fl/simulation.h"
 #include "metrics/convergence.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::bench {
 
@@ -35,6 +37,11 @@ struct BenchConfig {
   double bandwidth_mbps = 0.1;
   std::uint64_t seed = 42;
   std::string csv_dir;  // empty: no CSV dump
+  // Worker threads for client training and the large tensor kernels.
+  // 0 = hardware concurrency; 1 = the historical sequential path. Results
+  // are bitwise identical either way (DESIGN.md §"Determinism under
+  // parallelism"); only the wall clock changes.
+  int threads = 0;
   // FedSU thresholds; defaults are the lossless operating point calibrated
   // for 10-iteration rounds (EXPERIMENTS.md "Threshold scaling").
   double t_r = 0.05;
@@ -62,6 +69,8 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
                   "client link bandwidth (model-scaled; see DESIGN.md)")
       .add_int("seed", static_cast<long long>(defaults.seed), "random seed")
       .add_string("csv", defaults.csv_dir, "directory for CSV dumps (optional)")
+      .add_int("threads", defaults.threads,
+               "worker threads for training/kernels (0 = hardware concurrency)")
       .add_double("t-r", defaults.t_r, "FedSU predictability threshold T_R")
       .add_double("t-s", defaults.t_s, "FedSU error-feedback threshold T_S")
       .add_int("no-check", defaults.no_check, "FedSU initial no-check period")
@@ -86,6 +95,10 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.csv_dir = flags.get_string("csv");
+  config.threads = static_cast<int>(flags.get_int("threads"));
+  // Benches funnel through here once, right after parse: size the shared
+  // kernel pool to the same flag that sizes per-simulation pools.
+  util::ThreadPool::set_global_threads(config.threads);
   config.t_r = flags.get_double("t-r");
   config.t_s = flags.get_double("t-s");
   config.no_check = static_cast<int>(flags.get_int("no-check"));
@@ -122,6 +135,7 @@ inline fl::SimulationOptions simulation_options(const BenchConfig& config) {
   options.network.seed = config.seed ^ 0xbeef;
   options.eval_every = config.eval_every;
   options.seed = config.seed;
+  options.threads = config.threads;
   return options;
 }
 
@@ -144,6 +158,8 @@ struct SchemeRun {
   metrics::RunSummary summary;
   std::optional<double> time_to_target_s;
   std::optional<int> rounds_to_target;
+  double wall_seconds = 0.0;  // real time spent in the round loop
+  int threads = 1;            // resolved worker-thread count of the run
 };
 
 // Runs one scheme end-to-end. When `target` is set, the run still completes
@@ -154,11 +170,14 @@ inline SchemeRun run_scheme(const BenchConfig& config, const std::string& name,
                      fl::make_protocol(protocol_config(config, name)));
   SchemeRun run;
   run.scheme = name;
+  run.threads = util::ThreadPool::resolve_threads(config.threads);
   metrics::ConvergenceTracker tracker(target.value_or(0.999f));
+  util::Stopwatch wall;
   for (int r = 0; r < config.rounds; ++r) {
     run.records.push_back(sim.step());
     tracker.observe(run.records.back());
   }
+  run.wall_seconds = wall.elapsed_seconds();
   run.summary = metrics::summarize(run.records);
   if (target && tracker.reached()) {
     run.time_to_target_s = tracker.time_to_target_s();

@@ -7,6 +7,7 @@
 #include "fl/protocol_factory.h"
 #include "fl/simulation.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace fedsu;
 
@@ -14,8 +15,13 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.add_int("rounds", 20, "FL rounds to run")
       .add_int("clients", 8, "number of clients")
-      .add_int("seed", 42, "random seed");
+      .add_int("seed", 42, "random seed")
+      .add_int("threads", 0,
+               "worker threads (0 = hardware concurrency; results are "
+               "identical for any value)");
   if (!flags.parse(argc, argv)) return 0;
+  util::ThreadPool::set_global_threads(
+      static_cast<int>(flags.get_int("threads")));
 
   // 1. Describe the workload: model + synthetic dataset + local training.
   fl::SimulationOptions options;
@@ -28,6 +34,7 @@ int main(int argc, char** argv) {
   options.local.iterations = 10;
   options.local.learning_rate = 0.03f;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.threads = static_cast<int>(flags.get_int("threads"));
 
   // 2. Pick the synchronization protocol — FedSU with default thresholds.
   fl::ProtocolConfig protocol;

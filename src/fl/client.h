@@ -1,9 +1,12 @@
 // FL client: local SGD over a private shard.
 //
-// To keep the single-core simulator lean, clients do not own model replicas;
-// the simulation owns one scratch model and lends it to each client for its
-// local iterations (load global state -> train -> extract state). This is
-// numerically identical to per-client replicas under sequential execution.
+// Clients do not own model replicas; the simulation lends each client a
+// model for its local iterations (load global state -> train -> extract
+// state) — the single scratch model when running sequentially, a per-worker
+// replica when rounds train in parallel. Because the lent model is fully
+// overwritten from the global state first, both are numerically identical
+// to per-client replicas. A Client is only ever driven by one thread at a
+// time; its batch-loader RNG is part of its private state.
 #pragma once
 
 #include <vector>

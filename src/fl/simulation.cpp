@@ -22,6 +22,9 @@ Simulation::Simulation(SimulationOptions options,
   if (options_.num_clients <= 0) {
     throw std::invalid_argument("Simulation: num_clients <= 0");
   }
+  if (util::ThreadPool::resolve_threads(options_.threads) > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
   if (options_.participation_fraction <= 0.0 ||
       options_.participation_fraction > 1.0) {
     throw std::invalid_argument("Simulation: participation fraction out of (0,1]");
@@ -149,15 +152,11 @@ RoundRecord Simulation::step() {
   if (options_.lr_schedule) {
     local.learning_rate = options_.lr_schedule->lr(round);
   }
-  std::vector<std::vector<float>> states;
-  states.reserve(participants.size());
+  std::vector<std::vector<float>> states(participants.size());
+  std::vector<double> losses(participants.size(), 0.0);
+  train_participants(participants, local, states, losses);
   double loss_sum = 0.0;
-  for (int id : participants) {
-    scratch_model_.load_state_vector(global_);
-    loss_sum += clients_[static_cast<std::size_t>(id)]->train_round(
-        scratch_model_, local);
-    states.push_back(scratch_model_.state_vector());
-  }
+  for (double l : losses) loss_sum += l;
 
   // Synchronization through the protocol under test.
   compress::RoundContext ctx;
@@ -225,6 +224,48 @@ RoundRecord Simulation::step() {
   }
   if (round_hook_) round_hook_(record);
   return record;
+}
+
+void Simulation::train_participants(const std::vector<int>& participants,
+                                    const LocalTrainOptions& local,
+                                    std::vector<std::vector<float>>& states,
+                                    std::vector<double>& losses) {
+  auto train_one = [&](std::size_t idx, nn::Model& model) {
+    model.load_state_vector(global_);
+    losses[idx] = clients_[static_cast<std::size_t>(participants[idx])]
+                      ->train_round(model, local);
+    states[idx] = model.state_vector();
+  };
+
+  if (!pool_ || participants.size() <= 1) {
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      train_one(i, scratch_model_);
+    }
+    return;
+  }
+
+  // Lazily build one replica per worker. A replica built from the same
+  // spec+seed as scratch_model_ has the identical parameter layout, and
+  // train_one overwrites every parameter (weights and BN buffers alike) via
+  // load_state_vector, so which replica trains a client cannot change any
+  // bit of the result. Each client is trained by exactly one chunk, and its
+  // own batch-loader RNG advances exactly as it would sequentially.
+  if (replicas_.size() < static_cast<std::size_t>(pool_->size())) {
+    replicas_.clear();
+    for (int w = 0; w < pool_->size(); ++w) {
+      nn::ModelSpec spec = options_.model;
+      replicas_.push_back(std::make_unique<nn::Model>(
+          nn::build_model(spec, util::Rng(options_.seed))));
+    }
+  }
+  pool_->parallel_chunks(
+      0, participants.size(),
+      [&](std::size_t chunk_begin, std::size_t chunk_end, std::size_t chunk) {
+        nn::Model& model = *replicas_[chunk];
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          train_one(i, model);
+        }
+      });
 }
 
 std::vector<RoundRecord> Simulation::run(int rounds,

@@ -1,6 +1,10 @@
 // End-to-end FL simulation: dataset generation, Dirichlet partitioning,
 // round loop with earliest-70 % participation, protocol-driven
 // synchronization, and the simulated-time cost model (DESIGN.md §2).
+// Participant training runs across a thread pool (SimulationOptions::threads)
+// with bitwise-identical results for every thread count: clients train on
+// per-worker replicas in parallel, and aggregation consumes the states in
+// deterministic participant order.
 #pragma once
 
 #include <functional>
@@ -15,6 +19,7 @@
 #include "net/network_model.h"
 #include "nn/schedule.h"
 #include "nn/zoo.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::fl {
 
@@ -52,6 +57,11 @@ struct SimulationOptions {
   int eval_every = 1;       // test-set evaluation period, in rounds
   int eval_batch = 64;
   std::uint64_t seed = 42;
+  // Worker threads for the round's local training (each participant trains
+  // on a per-worker model replica). 0 = hardware concurrency; 1 runs the
+  // historical sequential path. Results are bitwise identical for every
+  // value — see DESIGN.md §"Determinism under parallelism".
+  int threads = 0;
 };
 
 struct RoundRecord {
@@ -111,6 +121,12 @@ class Simulation {
 
  private:
   std::vector<int> select_participants(int round);
+  // Trains every participant (reading global_, filling states/losses by
+  // participant position) — across the pool when it pays, else sequentially.
+  void train_participants(const std::vector<int>& participants,
+                          const LocalTrainOptions& local,
+                          std::vector<std::vector<float>>& states,
+                          std::vector<double>& losses);
 
   SimulationOptions options_;
   std::unique_ptr<compress::SyncProtocol> protocol_;
@@ -118,6 +134,12 @@ class Simulation {
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<bool> active_;
   mutable nn::Model scratch_model_;
+  // Worker pool plus one model replica per worker; both null/empty when
+  // options_.threads resolves to 1. Replicas are built lazily on the first
+  // multi-participant round from the same spec+seed as scratch_model_, so a
+  // replica that loaded global_ is bit-identical to the scratch model.
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::unique_ptr<nn::Model>> replicas_;
   net::NetworkModel network_;
   std::vector<float> global_;
   int round_ = 0;

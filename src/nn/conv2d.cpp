@@ -2,10 +2,25 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/init.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::nn {
+
+namespace {
+// Same dispatch rule as the matmuls in tensor/ops.cpp: fan out on the global
+// pool only when the im2col GEMM is big enough to amortize dispatch. Each
+// sample of the batch is computed exactly as in the sequential loop, so
+// outputs are bitwise identical for any thread count.
+constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 20;
+
+bool should_parallelize(std::size_t batch, std::size_t macs) {
+  return batch > 1 && macs >= kParallelMacThreshold &&
+         fedsu::util::ThreadPool::global().worth_parallelizing();
+}
+}  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng,
                int stride, int padding, bool bias)
@@ -111,7 +126,9 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool /*train*/) {
   tensor::Tensor out({n, out_channels_, oh, ow});
 
   const float* wmat = weight_.value.data();
-  for (int in = 0; in < n; ++in) {
+  // Each sample touches only its own cols/out slices, so samples fan out
+  // across workers without changing any result bit.
+  auto forward_sample = [&](int in) {
     float* cols = cached_cols_.data() +
                   static_cast<std::size_t>(in) * fan_in * patch;
     im2col(input.data() + static_cast<std::size_t>(in) * in_channels_ * h * w,
@@ -132,6 +149,18 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool /*train*/) {
         for (int p = 0; p < patch; ++p) yrow[p] += wv * crow[p];
       }
     }
+  };
+  const std::size_t macs = static_cast<std::size_t>(n) * out_channels_ *
+                           fan_in * patch;
+  if (should_parallelize(static_cast<std::size_t>(n), macs)) {
+    util::ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n), [&](std::size_t b, std::size_t e) {
+          for (std::size_t in = b; in < e; ++in) {
+            forward_sample(static_cast<int>(in));
+          }
+        });
+  } else {
+    for (int in = 0; in < n; ++in) forward_sample(in);
   }
   return out;
 }
@@ -149,45 +178,96 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
   const int fan_in = in_channels_ * kernel_ * kernel_;
   const int patch = oh * ow;
   tensor::Tensor dx(cached_input_.shape());
-  std::vector<float> dcols(static_cast<std::size_t>(fan_in) * patch);
 
   float* dwmat = weight_.grad.data();
   const float* wmat = weight_.value.data();
-  for (int in = 0; in < n; ++in) {
+  const std::size_t wsize = static_cast<std::size_t>(out_channels_) * fan_in;
+
+  // Computes sample `in`'s weight/bias gradient contribution into
+  // dw_out/db_out (not into the shared grads) and its dx slice. dcols is
+  // caller-provided scratch of fan_in * patch floats.
+  auto backward_sample = [&](int in, float* dw_out, float* db_out,
+                             float* dcols) {
     const float* g = grad_output.data() +
                      static_cast<std::size_t>(in) * out_channels_ * patch;
     const float* cols = cached_cols_.data() +
                         static_cast<std::size_t>(in) * fan_in * patch;
-    // dW += g[outC, patch] * cols[fan_in, patch]^T
+    // dW_contrib = g[outC, patch] * cols[fan_in, patch]^T
     for (int oc = 0; oc < out_channels_; ++oc) {
       const float* grow = g + static_cast<std::size_t>(oc) * patch;
-      float* dwrow = dwmat + static_cast<std::size_t>(oc) * fan_in;
+      float* dwrow = dw_out + static_cast<std::size_t>(oc) * fan_in;
       for (int l = 0; l < fan_in; ++l) {
         const float* crow = cols + static_cast<std::size_t>(l) * patch;
         float acc = 0.0f;
         for (int p = 0; p < patch; ++p) acc += grow[p] * crow[p];
-        dwrow[l] += acc;
+        dwrow[l] = acc;
       }
       if (has_bias_) {
         float acc = 0.0f;
         for (int p = 0; p < patch; ++p) acc += grow[p];
-        bias_.grad[static_cast<std::size_t>(oc)] += acc;
+        db_out[oc] = acc;
       }
     }
     // dcols = W^T[fan_in, outC] * g[outC, patch]
-    std::fill(dcols.begin(), dcols.end(), 0.0f);
+    std::fill(dcols, dcols + static_cast<std::size_t>(fan_in) * patch, 0.0f);
     for (int oc = 0; oc < out_channels_; ++oc) {
       const float* grow = g + static_cast<std::size_t>(oc) * patch;
       const float* wrow = wmat + static_cast<std::size_t>(oc) * fan_in;
       for (int l = 0; l < fan_in; ++l) {
         const float wv = wrow[l];
         if (wv == 0.0f) continue;
-        float* drow = dcols.data() + static_cast<std::size_t>(l) * patch;
+        float* drow = dcols + static_cast<std::size_t>(l) * patch;
         for (int p = 0; p < patch; ++p) drow[p] += wv * grow[p];
       }
     }
-    col2im(dcols.data(), h, w,
+    col2im(dcols, h, w,
            dx.data() + static_cast<std::size_t>(in) * in_channels_ * h * w);
+  };
+
+  const std::size_t macs = 2 * static_cast<std::size_t>(n) * out_channels_ *
+                           fan_in * patch;
+  if (should_parallelize(static_cast<std::size_t>(n), macs)) {
+    // Per-sample contributions are computed in parallel (disjoint buffers),
+    // then folded into the shared grads in ascending sample order — the very
+    // order the sequential loop uses, so grads stay bitwise identical.
+    std::vector<float> dw_contrib(static_cast<std::size_t>(n) * wsize);
+    std::vector<float> db_contrib(
+        has_bias_ ? static_cast<std::size_t>(n) * out_channels_ : 0);
+    util::ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(n), [&](std::size_t b, std::size_t e) {
+          std::vector<float> dcols(static_cast<std::size_t>(fan_in) * patch);
+          for (std::size_t in = b; in < e; ++in) {
+            backward_sample(static_cast<int>(in), dw_contrib.data() + in * wsize,
+                            has_bias_ ? db_contrib.data() + in * out_channels_
+                                      : nullptr,
+                            dcols.data());
+          }
+        });
+    for (int in = 0; in < n; ++in) {
+      const float* dw = dw_contrib.data() + static_cast<std::size_t>(in) * wsize;
+      for (std::size_t i = 0; i < wsize; ++i) dwmat[i] += dw[i];
+      if (has_bias_) {
+        const float* db =
+            db_contrib.data() + static_cast<std::size_t>(in) * out_channels_;
+        for (int oc = 0; oc < out_channels_; ++oc) {
+          bias_.grad[static_cast<std::size_t>(oc)] += db[oc];
+        }
+      }
+    }
+  } else {
+    std::vector<float> dcols(static_cast<std::size_t>(fan_in) * patch);
+    std::vector<float> dw_sample(wsize);
+    std::vector<float> db_sample(has_bias_ ? out_channels_ : 0);
+    for (int in = 0; in < n; ++in) {
+      backward_sample(in, dw_sample.data(),
+                      has_bias_ ? db_sample.data() : nullptr, dcols.data());
+      for (std::size_t i = 0; i < wsize; ++i) dwmat[i] += dw_sample[i];
+      if (has_bias_) {
+        for (int oc = 0; oc < out_channels_; ++oc) {
+          bias_.grad[static_cast<std::size_t>(oc)] += db_sample[oc];
+        }
+      }
+    }
   }
   return dx;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace fedsu::tensor {
 
@@ -12,6 +15,28 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
     throw std::invalid_argument(std::string(op) + ": shape mismatch " +
                                 a.shape_string() + " vs " + b.shape_string());
   }
+}
+
+// Minimum multiply-accumulate count before a matmul fans out on the global
+// pool; below it, dispatch overhead beats the parallel win (and small unit
+// tests never even construct the pool). Each output row is produced by
+// exactly one chunk with the same inner-loop order as the sequential code,
+// so results are bitwise identical for every thread count (DESIGN.md
+// §"Determinism under parallelism").
+constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 20;
+
+// Runs body(row_begin, row_end) over [0, rows), parallel only when the MAC
+// count clears the threshold and the calling thread is not already a worker.
+void for_each_row_block(std::size_t rows, std::size_t macs,
+                        const std::function<void(std::size_t, std::size_t)>& body) {
+  if (rows > 1 && macs >= kParallelMacThreshold) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.worth_parallelizing()) {
+      pool.parallel_for(0, rows, body);
+      return;
+    }
+  }
+  body(0, rows);
 }
 }  // namespace
 
@@ -76,15 +101,20 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int l = 0; l < k; ++l) {
-      const float av = pa[static_cast<std::size_t>(i) * k + l];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(l) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  for_each_row_block(
+      static_cast<std::size_t>(m),
+      static_cast<std::size_t>(m) * k * n,
+      [=](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          float* crow = pc + i * n;
+          for (int l = 0; l < k; ++l) {
+            const float av = pa[i * k + l];
+            if (av == 0.0f) continue;
+            const float* brow = pb + static_cast<std::size_t>(l) * n;
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
   return c;
 }
 
@@ -98,16 +128,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int l = 0; l < k; ++l) {
-    const float* arow = pa + static_cast<std::size_t>(l) * m;
-    const float* brow = pb + static_cast<std::size_t>(l) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Output-row-major loop order (i outer) so rows can split across workers;
+  // each element still accumulates over l in ascending order, exactly as the
+  // l-outer sequential form did.
+  for_each_row_block(
+      static_cast<std::size_t>(m),
+      static_cast<std::size_t>(m) * k * n,
+      [=](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          float* crow = pc + i * n;
+          for (int l = 0; l < k; ++l) {
+            const float av = pa[static_cast<std::size_t>(l) * m + i];
+            if (av == 0.0f) continue;
+            const float* brow = pb + static_cast<std::size_t>(l) * n;
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
   return c;
 }
 
@@ -121,16 +158,21 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      crow[j] = acc;
-    }
-  }
+  for_each_row_block(
+      static_cast<std::size_t>(m),
+      static_cast<std::size_t>(m) * k * n,
+      [=](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * k;
+          float* crow = pc + i * n;
+          for (int j = 0; j < n; ++j) {
+            const float* brow = pb + static_cast<std::size_t>(j) * k;
+            float acc = 0.0f;
+            for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
+            crow[j] = acc;
+          }
+        }
+      });
   return c;
 }
 

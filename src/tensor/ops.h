@@ -21,8 +21,10 @@ void sub_inplace(Tensor& a, const Tensor& b);
 void axpy(Tensor& y, float alpha, const Tensor& x);  // y += alpha * x
 
 // --- matmul ---
-// C[m,n] = A[m,k] * B[k,n]. Plain ikj loop with accumulation rows; fast
-// enough for the scaled models in this repo.
+// C[m,n] = A[m,k] * B[k,n]. Plain ikj loop with accumulation rows. Large
+// products split their output rows across util::ThreadPool::global();
+// because every row keeps the sequential inner-loop order, results are
+// bitwise identical for any thread count.
 Tensor matmul(const Tensor& a, const Tensor& b);
 // C[m,n] = A[k,m]^T * B[k,n]
 Tensor matmul_tn(const Tensor& a, const Tensor& b);

@@ -2,12 +2,21 @@
 
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace fedsu::util {
 
-LogLevel& log_level() {
-  static LogLevel level = LogLevel::kInfo;
+namespace {
+std::atomic<LogLevel>& level_slot() {
+  static std::atomic<LogLevel> level{LogLevel::kInfo};
   return level;
+}
+}  // namespace
+
+LogLevel log_level() { return level_slot().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_slot().store(level, std::memory_order_relaxed);
 }
 
 const char* log_level_name(LogLevel level) {

@@ -3,11 +3,14 @@
 // Design notes:
 //  * Header-light: formatting is done with iostreams via a RAII line object,
 //    so call sites read `LOG_INFO() << "round " << r;`.
-//  * Thread-safe at line granularity (a single mutex guards the sink).
-//  * The global level can be changed at runtime (e.g. from --verbose flags).
+//  * Thread-safe at line granularity: each LogLine formats into its own
+//    thread-private buffer, and the single fputs of the finished line runs
+//    under the sink mutex, so interleaved threads can never tear a line.
+//  * The global level can be changed at runtime (e.g. from --verbose flags);
+//    it is an atomic, so flipping it while other threads log is race-free.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -21,8 +24,9 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-// Returns the mutable global minimum level. Messages below it are dropped.
-LogLevel& log_level();
+// Global minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
 
 const char* log_level_name(LogLevel level);
 

@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/flags.h"
@@ -203,9 +207,66 @@ TEST(Csv, ThrowsOnBadPath) {
 
 TEST(Logging, LevelGatesOutput) {
   const LogLevel old = log_level();
-  log_level() = LogLevel::kError;
+  set_log_level(LogLevel::kError);
   LOG_INFO() << "should be dropped";  // just exercising the path
-  log_level() = old;
+  set_log_level(old);
+  SUCCEED();
+}
+
+// Concurrent writers must never tear a line: each captured stdout line is a
+// complete `[INFO file:line] t<thread> i<iter>` record, and every message
+// arrives exactly once.
+TEST(Logging, ConcurrentWritersDoNotTearLines) {
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  testing::internal::CaptureStdout();
+  {
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i) {
+          LOG_INFO() << "t" << t << " i" << i;
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+  const std::string captured = testing::internal::GetCapturedStdout();
+
+  std::set<std::string> seen;
+  std::istringstream lines(captured);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    // Prefix formatted before the payload, all flushed as one fputs.
+    EXPECT_EQ(line.rfind("[INFO ", 0), std::size_t{0}) << "torn line: " << line;
+    const std::size_t payload = line.find("] ");
+    ASSERT_NE(payload, std::string::npos) << "torn line: " << line;
+    EXPECT_TRUE(seen.insert(line.substr(payload + 2)).second)
+        << "duplicate payload: " << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kLines));
+}
+
+// Flipping the level while other threads log is race-free (the level is
+// atomic); this is primarily a TSan target.
+TEST(Logging, LevelFlipDuringConcurrentLoggingIsSafe) {
+  const LogLevel old = log_level();
+  testing::internal::CaptureStdout();
+  std::thread flipper([] {
+    for (int i = 0; i < 200; ++i) {
+      set_log_level(i % 2 == 0 ? LogLevel::kError : LogLevel::kInfo);
+    }
+  });
+  std::thread writer([] {
+    for (int i = 0; i < 200; ++i) LOG_INFO() << "ping " << i;
+  });
+  flipper.join();
+  writer.join();
+  testing::internal::GetCapturedStdout();
+  set_log_level(old);
   SUCCEED();
 }
 
