@@ -16,6 +16,9 @@
 #include "fl/protocol_factory.h"
 #include "fl/simulation.h"
 #include "metrics/convergence.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -50,6 +53,13 @@ struct BenchConfig {
   // CMFL sign-relevance threshold; 0.8 in the paper, 0.7 at this repo's
   // noisier 10-iteration rounds (EXPERIMENTS.md "Threshold scaling").
   double cmfl_relevance = 0.7;
+  // Observability (DESIGN.md §8). "auto" derives the level from the
+  // requested outputs: trace if --trace-out is set, metrics if any other
+  // output is, off otherwise — so plain runs pay zero instrumentation cost.
+  std::string obs_level = "auto";  // auto | off | metrics | trace
+  std::string metrics_out;         // metrics registry JSON (or .csv)
+  std::string trace_out;           // chrome://tracing timeline JSON
+  std::string telemetry_out;       // per-round telemetry JSONL
 };
 
 inline util::Flags make_flags(const BenchConfig& defaults) {
@@ -75,8 +85,44 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
       .add_double("t-s", defaults.t_s, "FedSU error-feedback threshold T_S")
       .add_int("no-check", defaults.no_check, "FedSU initial no-check period")
       .add_double("cmfl-relevance", defaults.cmfl_relevance,
-                  "CMFL sign-relevance threshold");
+                  "CMFL sign-relevance threshold")
+      .add_string("obs-level", defaults.obs_level,
+                  "observability level: auto | off | metrics | trace")
+      .add_string("metrics-out", defaults.metrics_out,
+                  "write the metrics registry as JSON (.csv for CSV)")
+      .add_string("trace-out", defaults.trace_out,
+                  "write a chrome://tracing span timeline JSON")
+      .add_string("telemetry-out", defaults.telemetry_out,
+                  "write per-round telemetry JSONL");
   return flags;
+}
+
+// Resolves BenchConfig's observability selection into a process level.
+inline obs::Level resolve_obs_level(const BenchConfig& config) {
+  if (config.obs_level != "auto") return obs::parse_level(config.obs_level);
+  if (!config.trace_out.empty()) return obs::Level::kTrace;
+  if (!config.metrics_out.empty() || !config.telemetry_out.empty()) {
+    return obs::Level::kMetrics;
+  }
+  return obs::Level::kOff;
+}
+
+// Writes the outputs BenchConfig requested; call once, after the run loop.
+// (--telemetry-out is wired per simulation via obs::TelemetryWriter::hook.)
+inline void export_observability(const BenchConfig& config) {
+  if (!config.metrics_out.empty()) {
+    const auto& path = config.metrics_out;
+    if (path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+      obs::MetricsRegistry::global().write_csv(path);
+    } else {
+      obs::MetricsRegistry::global().write_json(path);
+    }
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    obs::Tracer::global().write_chrome_json(config.trace_out);
+    std::printf("trace written to %s\n", config.trace_out.c_str());
+  }
 }
 
 inline BenchConfig config_from_flags(const util::Flags& flags) {
@@ -103,6 +149,11 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
   config.t_s = flags.get_double("t-s");
   config.no_check = static_cast<int>(flags.get_int("no-check"));
   config.cmfl_relevance = flags.get_double("cmfl-relevance");
+  config.obs_level = flags.get_string("obs-level");
+  config.metrics_out = flags.get_string("metrics-out");
+  config.trace_out = flags.get_string("trace-out");
+  config.telemetry_out = flags.get_string("telemetry-out");
+  obs::set_level(resolve_obs_level(config));
   return config;
 }
 

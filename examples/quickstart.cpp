@@ -2,10 +2,20 @@
 // FedSU synchronization, and watch accuracy and the sparsification ratio.
 //
 //   ./quickstart [--rounds N] [--clients N] ...
+//
+// Observability ("Inspecting a run" in README.md): pass --metrics-out /
+// --trace-out / --telemetry-out to capture counters, a chrome://tracing
+// timeline, and per-round JSONL telemetry. With none of them the obs
+// subsystem stays off and costs nothing.
 #include <cstdio>
+#include <memory>
 
 #include "fl/protocol_factory.h"
 #include "fl/simulation.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -18,10 +28,28 @@ int main(int argc, char** argv) {
       .add_int("seed", 42, "random seed")
       .add_int("threads", 0,
                "worker threads (0 = hardware concurrency; results are "
-               "identical for any value)");
+               "identical for any value)")
+      .add_string("obs-level", "auto",
+                  "observability level: auto | off | metrics | trace")
+      .add_string("metrics-out", "", "write the metrics registry as JSON")
+      .add_string("trace-out", "", "write a chrome://tracing timeline JSON")
+      .add_string("telemetry-out", "", "write per-round telemetry JSONL");
   if (!flags.parse(argc, argv)) return 0;
   util::ThreadPool::set_global_threads(
       static_cast<int>(flags.get_int("threads")));
+
+  // Turn instrumentation on only when an output was requested ("auto").
+  const std::string metrics_out = flags.get_string("metrics-out");
+  const std::string trace_out = flags.get_string("trace-out");
+  const std::string telemetry_out = flags.get_string("telemetry-out");
+  const std::string obs_level = flags.get_string("obs-level");
+  if (obs_level != "auto") {
+    obs::set_level(obs::parse_level(obs_level));
+  } else if (!trace_out.empty()) {
+    obs::set_level(obs::Level::kTrace);
+  } else if (!metrics_out.empty() || !telemetry_out.empty()) {
+    obs::set_level(obs::Level::kMetrics);
+  }
 
   // 1. Describe the workload: model + synthetic dataset + local training.
   fl::SimulationOptions options;
@@ -43,6 +71,11 @@ int main(int argc, char** argv) {
 
   // 3. Run rounds.
   fl::Simulation sim(options, fl::make_protocol(protocol));
+  std::unique_ptr<obs::TelemetryWriter> telemetry;
+  if (!telemetry_out.empty()) {
+    telemetry = std::make_unique<obs::TelemetryWriter>(telemetry_out, "fedsu");
+    sim.set_round_hook(telemetry->hook());
+  }
   std::printf("model: %s, %zu parameters, %d clients\n",
               options.model.arch.c_str(), sim.model_state_size(),
               options.num_clients);
@@ -58,5 +91,15 @@ int main(int argc, char** argv) {
   }
   std::printf("\ntotal simulated time: %.1fs, final accuracy: %.3f\n",
               sim.elapsed_time_s(), sim.evaluate());
+
+  // 4. Export whatever observability outputs were requested.
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry::global().write_json(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::global().write_chrome_json(trace_out);
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }

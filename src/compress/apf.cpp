@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/trace.h"
+
 namespace fedsu::compress {
 
 Apf::Apf(ApfOptions options) : options_(options) {
@@ -25,6 +28,7 @@ void Apf::initialize(std::span<const float> global_state) {
 SyncResult Apf::synchronize(
     const RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("compress.apf.sync");
   if (client_states.size() != ctx.participants.size()) {
     throw std::invalid_argument("Apf: participants/state count mismatch");
   }
@@ -34,6 +38,7 @@ SyncResult Apf::synchronize(
 
   std::vector<float> new_global = global_;
   std::size_t synced = 0;
+  std::vector<float> up_values;  // client 0's unfrozen coords (wire payload)
   for (std::size_t j = 0; j < p; ++j) {
     if (freeze_remaining_[j] > 0) {
       // Frozen: hold the value, not transmitted. When the period elapses the
@@ -42,6 +47,7 @@ SyncResult Apf::synchronize(
       continue;
     }
     ++synced;
+    if (n > 0) up_values.push_back(client_states[0][j]);
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
     const float synced_value = static_cast<float>(acc / static_cast<double>(n));
@@ -70,11 +76,14 @@ SyncResult Apf::synchronize(
 
   SyncResult result;
   result.new_global = std::move(new_global);
-  const std::size_t bytes = synced * sizeof(float);
+  // Measured payload: the dense block of unfrozen values (client 0 is
+  // representative; all clients sync the same coordinate set).
+  const std::size_t bytes = wire::encode_dense(up_values).size();
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = synced * n;
   result.scalars_down = synced * n;
+  wire::record_round_bytes("apf", bytes * n, bytes * n);
   last_ratio_ =
       p == 0 ? 0.0 : 1.0 - static_cast<double>(synced) / static_cast<double>(p);
   return result;

@@ -39,6 +39,11 @@ class Apf : public SyncProtocol {
 
   std::size_t state_bytes() const override;
   double last_sparsification_ratio() const override { return last_ratio_; }
+  // Frozen parameters are APF's analogue of speculated ones: held locally
+  // without transmission.
+  Telemetry last_round_telemetry() const override {
+    return {frozen_fraction(), 0};
+  }
 
   // Fraction of parameters currently frozen (for tests / Fig. 5 dashed line).
   double frozen_fraction() const;

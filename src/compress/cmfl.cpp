@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/trace.h"
+
 namespace fedsu::compress {
 
 Cmfl::Cmfl(CmflOptions options) : options_(options) {
@@ -19,6 +22,7 @@ void Cmfl::initialize(std::span<const float> global_state) {
 SyncResult Cmfl::synchronize(
     const RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("compress.cmfl.sync");
   if (client_states.size() != ctx.participants.size()) {
     throw std::invalid_argument("Cmfl: participants/state count mismatch");
   }
@@ -70,14 +74,19 @@ SyncResult Cmfl::synchronize(
 
   SyncResult result;
   result.new_global = std::move(new_global);
-  const std::size_t full_bytes = p * sizeof(float);
+  // Measured dense payload: a reporting upload and every download carry the
+  // full state (all the same length; the broadcast is representative).
+  const std::size_t full_bytes = wire::encode_dense(result.new_global).size();
   result.bytes_up.resize(n);
   result.bytes_down.assign(n, full_bytes);  // everyone downloads the model
+  std::size_t total_up = 0;
   for (std::size_t i = 0; i < n; ++i) {
     result.bytes_up[i] = reports[i] ? full_bytes : 0;
+    total_up += result.bytes_up[i];
     result.scalars_up += reports[i] ? p : 0;
   }
   result.scalars_down = p * n;
+  wire::record_round_bytes("cmfl", total_up, full_bytes * n);
   last_ratio_ = n == 0 ? 0.0
                        : 1.0 - static_cast<double>(reporting) /
                                    static_cast<double>(n);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/trace.h"
+
 namespace fedsu::compress {
 
 std::vector<float> average_states(
@@ -30,16 +33,21 @@ void FedAvg::initialize(std::span<const float> global_state) {
 SyncResult FedAvg::synchronize(
     const RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("compress.fedavg.sync");
   if (client_states.size() != ctx.participants.size()) {
     throw std::invalid_argument("FedAvg: participants/state count mismatch");
   }
   SyncResult result;
   result.new_global = average_states(client_states);
-  const std::size_t bytes = result.new_global.size() * sizeof(float);
+  // Byte accounting is the measured size of the dense payload each client
+  // uploads (its state) and downloads (the new global) — identical lengths.
+  const std::size_t bytes = wire::encode_dense(result.new_global).size();
   result.bytes_up.assign(client_states.size(), bytes);
   result.bytes_down.assign(client_states.size(), bytes);
   result.scalars_up = result.new_global.size() * client_states.size();
   result.scalars_down = result.scalars_up;
+  wire::record_round_bytes("fedavg", bytes * client_states.size(),
+                           bytes * client_states.size());
   return result;
 }
 

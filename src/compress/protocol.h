@@ -77,6 +77,18 @@ class SyncProtocol {
   // Fraction of model scalars NOT uploaded, averaged over participants, for
   // the most recent round (the paper's "sparsification ratio").
   virtual double last_sparsification_ratio() const { return 0.0; }
+
+  // Structured per-round telemetry for the observability layer (src/obs).
+  // Protocols without speculation report the zero defaults.
+  struct Telemetry {
+    // Share of model scalars updated speculatively / without transmission
+    // this round (FedSU: predictable fraction; APF: frozen fraction).
+    double speculated_fraction = 0.0;
+    // Speculation phases force-ended this round because the error-feedback
+    // check failed — each one costs a fallback synchronization.
+    std::size_t fallback_syncs = 0;
+  };
+  virtual Telemetry last_round_telemetry() const { return {}; }
 };
 
 // Dense mean of the participants' states (the FedAvg aggregation rule);

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/trace.h"
+
 namespace fedsu::compress {
 
 Qsgd::Qsgd(QsgdOptions options) : options_(options), rng_(options.seed) {
@@ -15,10 +18,12 @@ void Qsgd::initialize(std::span<const float> global_state) {
   global_.assign(global_state.begin(), global_state.end());
 }
 
-std::vector<float> Qsgd::quantize_dequantize(std::span<const float> v,
-                                             util::Rng& rng) const {
+std::vector<float> Qsgd::quantize_dequantize(
+    std::span<const float> v, util::Rng& rng,
+    std::vector<std::int32_t>* levels_out) const {
   // Uniform levels over [-scale, scale] with stochastic rounding; scale is
   // the max-abs of the vector (sent alongside as one float).
+  if (levels_out) levels_out->assign(v.size(), 0);
   float scale = 0.0f;
   for (float x : v) scale = std::max(scale, std::fabs(x));
   std::vector<float> out(v.size(), 0.0f);
@@ -29,6 +34,7 @@ std::vector<float> Qsgd::quantize_dequantize(std::span<const float> v,
     const double lo = std::floor(t);
     const double frac = t - lo;
     const double q = rng.uniform() < frac ? lo + 1.0 : lo;
+    if (levels_out) (*levels_out)[i] = static_cast<std::int32_t>(q);
     out[i] = static_cast<float>(q / levels * scale);
   }
   return out;
@@ -37,6 +43,7 @@ std::vector<float> Qsgd::quantize_dequantize(std::span<const float> v,
 SyncResult Qsgd::synchronize(
     const RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("compress.qsgd.sync");
   const std::size_t p = global_.size();
   const std::size_t n = client_states.size();
   if (n != ctx.participants.size() || n == 0) {
@@ -44,11 +51,13 @@ SyncResult Qsgd::synchronize(
   }
   std::vector<double> acc(p, 0.0);
   std::vector<float> update(p);
+  std::vector<std::int32_t> up_levels;  // client 0's wire levels
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < p; ++j) {
       update[j] = client_states[i][j] - global_[j];
     }
-    const auto dq = quantize_dequantize(update, rng_);
+    const auto dq =
+        quantize_dequantize(update, rng_, i == 0 ? &up_levels : nullptr);
     for (std::size_t j = 0; j < p; ++j) acc[j] += dq[j];
   }
   std::vector<float> mean_update(p);
@@ -64,12 +73,15 @@ SyncResult Qsgd::synchronize(
 
   SyncResult result;
   result.new_global = std::move(new_global);
-  const std::size_t bytes = (p * static_cast<std::size_t>(options_.bits)) / 8 +
-                            sizeof(float);  // payload + scale
+  // Measured payload: the bit-packed levels plus the f32 scale. Every
+  // client's payload has the same length (client 0 is representative).
+  const std::size_t bytes =
+      wire::encode_quantized(up_levels, options_.bits, 0.0f).size();
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = p * n;
   result.scalars_down = p * n;
+  wire::record_round_bytes("qsgd", bytes * n, bytes * n);
   return result;
 }
 

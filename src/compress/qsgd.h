@@ -29,9 +29,12 @@ class Qsgd : public SyncProtocol {
   // Quantization is dense: nothing is skipped, ratio reflects byte shrink.
   double last_sparsification_ratio() const override { return 0.0; }
 
-  // Quantize/dequantize one vector (exposed for tests).
-  std::vector<float> quantize_dequantize(std::span<const float> v,
-                                         util::Rng& rng) const;
+  // Quantize/dequantize one vector (exposed for tests). When `levels_out`
+  // is non-null it receives the integer levels actually drawn — the wire
+  // payload — without changing RNG consumption.
+  std::vector<float> quantize_dequantize(
+      std::span<const float> v, util::Rng& rng,
+      std::vector<std::int32_t>* levels_out = nullptr) const;
 
  private:
   QsgdOptions options_;

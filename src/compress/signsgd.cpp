@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/trace.h"
+
 namespace fedsu::compress {
 
 SignSgd::SignSgd(SignSgdOptions options) : options_(options) {
@@ -19,6 +22,7 @@ void SignSgd::initialize(std::span<const float> global_state) {
 SyncResult SignSgd::synchronize(
     const RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("compress.signsgd.sync");
   const std::size_t p = global_.size();
   const std::size_t n = client_states.size();
   if (n != ctx.participants.size() || n == 0) {
@@ -26,11 +30,13 @@ SyncResult SignSgd::synchronize(
   }
   // Majority vote over update signs; track mean |update| to size the step.
   std::vector<int> votes(p, 0);
+  std::vector<std::uint8_t> up_signs(p, 0);  // client 0's wire mask
   double abs_sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < p; ++j) {
       const float u = client_states[i][j] - global_[j];
       votes[j] += (u > 0.0f) - (u < 0.0f);
+      if (i == 0) up_signs[j] = u > 0.0f ? 1 : 0;
       abs_sum += std::fabs(u);
     }
   }
@@ -52,12 +58,14 @@ SyncResult SignSgd::synchronize(
 
   SyncResult result;
   result.new_global = std::move(new_global);
-  // One sign bit per coordinate each way, plus the scalar step downstream.
-  const std::size_t bytes = p / 8 + 1 + sizeof(float);
+  // Measured payload: one sign bit per coordinate (packed) plus one f32
+  // each way — the client's local mean |update| up, the global step down.
+  const std::size_t bytes = wire::encode_signs(up_signs, step_).size();
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = p * n;
   result.scalars_down = p * n;
+  wire::record_round_bytes("signsgd", bytes * n, bytes * n);
   return result;
 }
 

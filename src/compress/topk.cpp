@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/trace.h"
+
 namespace fedsu::compress {
 
 TopK::TopK(int num_clients, TopKOptions options)
@@ -31,6 +34,7 @@ void TopK::on_client_join(int client_id) {
 SyncResult TopK::synchronize(
     const RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("compress.topk.sync");
   const std::size_t p = global_.size();
   const std::size_t n = client_states.size();
   if (n != ctx.participants.size() || n == 0) {
@@ -44,6 +48,10 @@ SyncResult TopK::synchronize(
   std::vector<std::uint8_t> touched(p, 0);
   std::vector<float> compensated(p);
   std::vector<std::size_t> order(p);
+  std::vector<std::uint32_t> up_indices;
+  std::vector<float> up_values;
+  up_indices.reserve(k);
+  up_values.reserve(k);
   for (std::size_t i = 0; i < n; ++i) {
     auto& res = residual_[static_cast<std::size_t>(ctx.participants[i])];
     for (std::size_t j = 0; j < p; ++j) {
@@ -61,6 +69,11 @@ SyncResult TopK::synchronize(
       if (r < k) {
         agg[j] += compensated[j];
         touched[j] = 1;
+        if (i == 0) {
+          // Representative upload payload (every client sends k entries).
+          up_indices.push_back(static_cast<std::uint32_t>(j));
+          up_values.push_back(compensated[j]);
+        }
         res[j] = 0.0f;
       } else {
         res[j] = compensated[j];  // remember for the next round
@@ -70,23 +83,30 @@ SyncResult TopK::synchronize(
 
   std::vector<float> new_global = global_;
   std::size_t union_size = 0;
+  std::vector<std::uint32_t> down_indices;
+  std::vector<float> down_values;
   const double inv_n = 1.0 / static_cast<double>(n);
   for (std::size_t j = 0; j < p; ++j) {
     if (!touched[j]) continue;
     ++union_size;
     new_global[j] = static_cast<float>(global_[j] + agg[j] * inv_n);
+    down_indices.push_back(static_cast<std::uint32_t>(j));
+    down_values.push_back(new_global[j]);
   }
   global_ = new_global;
 
   SyncResult result;
   result.new_global = std::move(new_global);
-  // Sparse payloads carry value + index (4 + 4 bytes per entry).
-  const std::size_t up_bytes = k * 8;
-  const std::size_t down_bytes = union_size * 8;
+  // Measured sparse payload sizes: each upload carries k (index, value)
+  // entries; the broadcast carries the union of touched coordinates.
+  const std::size_t up_bytes = wire::encode_sparse(up_indices, up_values).size();
+  const std::size_t down_bytes =
+      wire::encode_sparse(down_indices, down_values).size();
   result.bytes_up.assign(n, up_bytes);
   result.bytes_down.assign(n, down_bytes);
   result.scalars_up = k * n;
   result.scalars_down = union_size * n;
+  wire::record_round_bytes("topk", up_bytes * n, down_bytes * n);
   last_ratio_ =
       p == 0 ? 0.0 : 1.0 - static_cast<double>(k) / static_cast<double>(p);
   return result;

@@ -1,0 +1,62 @@
+// Wire payload encoders for the synchronization protocols.
+//
+// Every protocol's SyncResult byte accounting is measured off a payload
+// actually built through io::BinaryWriter (one representative client per
+// round), instead of a hand-maintained size formula — so telemetry bytes
+// match what a real transport would carry, exactly. Decoders are provided
+// for round-trip tests; the simulator itself never decodes (client states
+// are handed over in memory).
+//
+// Formats (little-endian, no framing — framing belongs to the transport):
+//   dense      count x f32
+//   sparse     count x (u32 index, f32 value)
+//   signs      ceil(count/8) sign-bit bytes (LSB-first), f32 scale
+//   quantized  ceil(count*bits/8) level bytes (LSB-first bitstream of
+//              unsigned (level + max_level) in `bits` bits), f32 scale
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fedsu::compress::wire {
+
+std::vector<std::uint8_t> encode_dense(std::span<const float> values);
+std::vector<float> decode_dense(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_sparse(
+    std::span<const std::uint32_t> indices, std::span<const float> values);
+struct SparsePayload {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+};
+SparsePayload decode_sparse(const std::vector<std::uint8_t>& bytes);
+
+// `signs[i]` is 0 or 1 (1 = positive).
+std::vector<std::uint8_t> encode_signs(std::span<const std::uint8_t> signs,
+                                       float scale);
+struct SignsPayload {
+  std::vector<std::uint8_t> signs;
+  float scale = 0.0f;
+};
+SignsPayload decode_signs(const std::vector<std::uint8_t>& bytes,
+                          std::size_t count);
+
+// `levels[i]` in [-max_level, max_level] with max_level = 2^(bits-1) - 1.
+std::vector<std::uint8_t> encode_quantized(std::span<const std::int32_t> levels,
+                                           int bits, float scale);
+struct QuantizedPayload {
+  std::vector<std::int32_t> levels;
+  float scale = 0.0f;
+};
+QuantizedPayload decode_quantized(const std::vector<std::uint8_t>& bytes,
+                                  std::size_t count, int bits);
+
+// Adds one round's totals to the global metrics registry counters
+// `compress.<protocol>.rounds` / `.bytes_up` / `.bytes_down`. No-op unless
+// obs metrics are enabled; called once per round, so the name lookup is off
+// any hot path.
+void record_round_bytes(const char* protocol, std::size_t bytes_up,
+                        std::size_t bytes_down);
+
+}  // namespace fedsu::compress::wire

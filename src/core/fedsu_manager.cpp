@@ -3,6 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "compress/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fedsu::core {
 
 FedSuManager::FedSuManager(int num_clients, FedSuOptions options)
@@ -49,6 +53,7 @@ void FedSuManager::on_client_join(int client_id) {
 compress::SyncResult FedSuManager::synchronize(
     const compress::RoundContext& ctx,
     const std::vector<std::span<const float>>& client_states) {
+  OBS_SPAN("core.fedsu.sync");
   const std::size_t p = global_.size();
   const std::size_t n = client_states.size();
   if (n != ctx.participants.size() || n == 0) {
@@ -71,11 +76,19 @@ compress::SyncResult FedSuManager::synchronize(
   std::size_t& unpredictable_count = diag_.unpredictable;
   std::size_t& expiring_count = diag_.expiring;
 
+  // Client 0's wire upload, built as the passes run: unpredictable values
+  // (pass 1) followed by expiring error scalars (pass 2). Its serialized
+  // size is the per-client byte count reported below.
+  std::vector<float> up_payload;
+
   // Pass 1: synchronize unpredictable parameters; speculatively update the
   // predictable ones and accumulate prediction errors.
+  {
+  OBS_SPAN("core.fedsu.speculate");
   for (std::size_t j = 0; j < p; ++j) {
     if (!predictable_[j]) {
       ++unpredictable_count;
+      up_payload.push_back(client_states[0][j]);
       double acc = 0.0;
       for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
       new_global[j] = static_cast<float>(acc * inv_n);
@@ -93,10 +106,16 @@ compress::SyncResult FedSuManager::synchronize(
     }
     if (--no_check_remaining_[j] <= 0) ++expiring_count;
   }
+  }  // OBS_SPAN core.fedsu.speculate
 
   // Pass 2: error feedback for parameters whose no-checking period expired.
+  {
+  OBS_SPAN("core.fedsu.feedback");
   for (std::size_t j = 0; j < p; ++j) {
     if (!predictable_[j] || no_check_remaining_[j] > 0) continue;
+    // The client uploads its accumulated local error for this parameter.
+    up_payload.push_back(
+        client_err_[static_cast<std::size_t>(ctx.participants[0])][j]);
     double err_acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       err_acc += client_err_[static_cast<std::size_t>(ctx.participants[i])][j];
@@ -126,14 +145,29 @@ compress::SyncResult FedSuManager::synchronize(
       emit(SpecEvent{ctx.round, j, /*start=*/false});
     }
   }
+  }  // OBS_SPAN core.fedsu.feedback
 
   // Pass 3: refresh linearity diagnosis for parameters synchronized
   // normally this round, possibly promoting them into speculative mode.
+  {
+  OBS_SPAN("core.fedsu.diagnosis");
+  obs::Histogram* osc_hist = nullptr;
+  if (obs::metrics_enabled()) {
+    obs::HistogramOptions osc_opts;
+    osc_opts.scale = obs::HistogramOptions::Scale::kLog;
+    osc_opts.lo = 1e-4;
+    osc_opts.hi = 10.0;
+    osc_opts.buckets = 20;
+    osc_hist = &obs::MetricsRegistry::global().histogram(
+        "core.fedsu.oscillation_ratio", osc_opts);
+  }
   for (std::size_t j = 0; j < p; ++j) {
     if (predictable_[j]) continue;
     const float g_new = new_global[j] - global_[j];
     const double r = osc_.observe(j, g_new);
-    if (osc_.ready(j) && r < options_.t_r) {
+    if (!osc_.ready(j)) continue;
+    if (osc_hist) osc_hist->record(r);
+    if (r < options_.t_r) {
       predictable_[j] = 1;
       slope_[j] = g_new;  // "use the update of the last round" (§IV-B)
       no_check_period_[j] = options_.initial_no_check;
@@ -143,6 +177,7 @@ compress::SyncResult FedSuManager::synchronize(
       emit(SpecEvent{ctx.round, j, /*start=*/true});
     }
   }
+  }  // OBS_SPAN core.fedsu.diagnosis
 
   global_ = new_global;
   ++rounds_seen_;
@@ -154,7 +189,9 @@ compress::SyncResult FedSuManager::synchronize(
   // download the aggregated verdict/correction). Masks and periods are
   // derived locally on every client and cost nothing (§V).
   const std::size_t per_client_scalars = unpredictable_count + expiring_count;
-  const std::size_t bytes = per_client_scalars * sizeof(float);
+  // Measured payload: client 0's upload serialized through io/serialize —
+  // one f32 per unpredictable value plus one per expiring error scalar.
+  const std::size_t bytes = compress::wire::encode_dense(up_payload).size();
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = per_client_scalars * n;
@@ -162,6 +199,13 @@ compress::SyncResult FedSuManager::synchronize(
   last_ratio_ = p == 0 ? 0.0
                        : 1.0 - static_cast<double>(per_client_scalars) /
                                    static_cast<double>(p);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("core.fedsu.promotions").add(diag_.promotions);
+    reg.counter("core.fedsu.demotions").add(diag_.demotions);
+    reg.gauge("core.fedsu.predictable_fraction").set(predictable_fraction());
+    compress::wire::record_round_bytes("fedsu", bytes * n, bytes * n);
+  }
   return result;
 }
 

@@ -70,6 +70,11 @@ class FedSuManager : public compress::SyncProtocol {
   std::vector<std::uint8_t> snapshot() const override;
   void restore(const std::vector<std::uint8_t>& bytes) override;
   double last_sparsification_ratio() const override { return last_ratio_; }
+  // Demotions are fallback syncs: speculation ended and the parameter was
+  // corrected with the aggregated error, rejoining regular updating.
+  Telemetry last_round_telemetry() const override {
+    return {predictable_fraction(), diag_.demotions};
+  }
 
   // Per-round accounting exposed for diagnosis and the bench harness.
   struct RoundDiagnostics {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace fedsu::fl {
 
 Client::Client(int id, data::Dataset shard, int batch_size, util::Rng rng)
@@ -10,6 +12,7 @@ Client::Client(int id, data::Dataset shard, int batch_size, util::Rng rng)
 }
 
 float Client::train_round(nn::Model& model, const LocalTrainOptions& options) {
+  OBS_SPAN("client.train");
   nn::SgdOptions sgd_options;
   sgd_options.learning_rate = options.learning_rate;
   sgd_options.weight_decay = options.weight_decay;

@@ -7,7 +7,10 @@
 
 #include "net/round_timeline.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace fedsu::fl {
 
@@ -103,8 +106,21 @@ std::vector<int> Simulation::select_participants(int round) {
 }
 
 RoundRecord Simulation::step() {
+  OBS_SPAN("sim.round");
   const int round = round_;
-  std::vector<int> participants = select_participants(round);
+  // Wall-clock phase attribution (host time, gated so the disabled path
+  // costs one clock read per round and nothing else). Never feeds back
+  // into the simulated clock.
+  const bool wall_on = obs::metrics_enabled();
+  util::Stopwatch wall_sw;
+  RoundRecord::WallPhases wall;
+
+  std::vector<int> participants;
+  {
+    OBS_SPAN("sim.select");
+    participants = select_participants(round);
+  }
+  if (wall_on) wall.select_s = wall_sw.lap();
 
   // Failure injection: drop uploads after training (compute is spent, the
   // update never reaches the server). Deterministic per (seed, round).
@@ -154,7 +170,11 @@ RoundRecord Simulation::step() {
   }
   std::vector<std::vector<float>> states(participants.size());
   std::vector<double> losses(participants.size(), 0.0);
-  train_participants(participants, local, states, losses);
+  {
+    OBS_SPAN("sim.train");
+    train_participants(participants, local, states, losses);
+  }
+  if (wall_on) wall.train_s = wall_sw.lap();
   double loss_sum = 0.0;
   for (double l : losses) loss_sum += l;
 
@@ -165,7 +185,11 @@ RoundRecord Simulation::step() {
   std::vector<std::span<const float>> views;
   views.reserve(states.size());
   for (const auto& s : states) views.emplace_back(s);
-  compress::SyncResult sync = protocol_->synchronize(ctx, views);
+  compress::SyncResult sync = [&] {
+    OBS_SPAN("sim.sync");
+    return protocol_->synchronize(ctx, views);
+  }();
+  if (wall_on) wall.sync_s = wall_sw.lap();
   if (sync.new_global.size() != global_.size()) {
     throw std::logic_error("Simulation: protocol changed state size");
   }
@@ -179,6 +203,8 @@ RoundRecord Simulation::step() {
     bytes_up_total += sync.bytes_up[i];
     bytes_down_total += sync.bytes_down[i];
   }
+  {
+  OBS_SPAN("sim.timing");
   if (options_.timing == TimingModel::kFlowLevel) {
     net::RoundTimelineInput timeline;
     timeline.server_bps = options_.network.server_bandwidth_bps;
@@ -199,6 +225,8 @@ RoundRecord Simulation::step() {
       round_time = std::max(round_time, t);
     }
   }
+  }  // OBS_SPAN sim.timing
+  if (wall_on) wall.timing_s = wall_sw.lap();
   elapsed_time_s_ += round_time;
   last_mean_payload_bytes_ =
       participants.empty()
@@ -219,8 +247,22 @@ RoundRecord Simulation::step() {
   record.bytes_down = bytes_down_total;
   record.num_participants = static_cast<int>(participants.size());
   record.uploads_lost = uploads_lost;
+  const compress::SyncProtocol::Telemetry tele =
+      protocol_->last_round_telemetry();
+  record.speculated_fraction = tele.speculated_fraction;
+  record.fallback_syncs = static_cast<int>(tele.fallback_syncs);
   if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
+    OBS_SPAN("sim.eval");
     record.test_accuracy = evaluate();
+  }
+  if (wall_on) {
+    wall.eval_s = wall_sw.lap();
+    wall.total_s = wall_sw.elapsed_seconds();
+    record.wall = wall;
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("fl.round.count").add(1);
+    reg.counter("fl.round.bytes_up").add(record.bytes_up);
+    reg.counter("fl.round.bytes_down").add(record.bytes_down);
   }
   if (round_hook_) round_hook_(record);
   return record;

@@ -75,6 +75,25 @@ struct RoundRecord {
   std::size_t bytes_up = 0;            // summed over participants
   std::size_t bytes_down = 0;
   int num_participants = 0;
+
+  // Protocol-reported speculation telemetry (compress::SyncProtocol::
+  // last_round_telemetry): zero for non-speculative schemes.
+  double speculated_fraction = 0.0;
+  int fallback_syncs = 0;
+
+  // Host wall-clock time spent in each phase of step(), measured only when
+  // obs::metrics_enabled() (all zero otherwise). These are real durations on
+  // the machine running the simulator — they never feed back into the
+  // simulated clock, so recording them cannot perturb results.
+  struct WallPhases {
+    double select_s = 0.0;  // participant selection
+    double train_s = 0.0;   // local training across the pool
+    double sync_s = 0.0;    // protocol synchronization
+    double timing_s = 0.0;  // network cost model / flow simulation
+    double eval_s = 0.0;    // test-set evaluation (eval rounds only)
+    double total_s = 0.0;   // whole step(); >= sum of the phases
+  };
+  WallPhases wall;
 };
 
 class Simulation {

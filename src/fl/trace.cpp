@@ -5,7 +5,9 @@ namespace fedsu::fl {
 RoundTrace::RoundTrace(const std::string& path) : csv_(path) {
   csv_.write_row({"round", "round_time_s", "elapsed_time_s", "train_loss",
                   "test_accuracy", "sparsification_ratio", "bytes_up",
-                  "bytes_down", "participants"});
+                  "bytes_down", "participants", "speculated_fraction",
+                  "fallback_syncs"});
+  csv_.flush();
 }
 
 void RoundTrace::append(const RoundRecord& record) {
@@ -19,8 +21,12 @@ void RoundTrace::append(const RoundRecord& record) {
        util::CsvWriter::field(record.sparsification_ratio),
        util::CsvWriter::field(static_cast<long long>(record.bytes_up)),
        util::CsvWriter::field(static_cast<long long>(record.bytes_down)),
-       std::to_string(record.num_participants)});
+       std::to_string(record.num_participants),
+       util::CsvWriter::field(record.speculated_fraction),
+       std::to_string(record.fallback_syncs)});
   ++rows_;
+  // Per-row flush: a killed long run keeps every completed round on disk.
+  csv_.flush();
 }
 
 std::function<void(const RoundRecord&)> RoundTrace::hook() {

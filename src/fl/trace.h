@@ -1,5 +1,9 @@
 // Round-trace logger: appends one CSV row per RoundRecord so long
 // experiments can be inspected / re-plotted without re-running.
+//
+// Durability: every appended row is flushed to the OS immediately, so a
+// crashed or killed run keeps its partial trace (the destructor adds
+// nothing beyond closing the already-flushed stream).
 #pragma once
 
 #include <memory>

@@ -15,6 +15,7 @@ namespace fedsu::io {
 
 class BinaryWriter {
  public:
+  void write_u8(std::uint8_t v) { write_raw(&v, sizeof(v)); }
   void write_u32(std::uint32_t v) { write_raw(&v, sizeof(v)); }
   void write_u64(std::uint64_t v) { write_raw(&v, sizeof(v)); }
   void write_i32(std::int32_t v) { write_raw(&v, sizeof(v)); }
@@ -51,6 +52,7 @@ class BinaryReader {
 
   static BinaryReader from_file(const std::string& path);
 
+  std::uint8_t read_u8();
   std::uint32_t read_u32();
   std::uint64_t read_u64();
   std::int32_t read_i32();

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace fedsu::net {
 
 RoundTimelineResult simulate_round(const RoundTimelineInput& input) {
+  OBS_SPAN("net.flow_sim");
   const std::size_t n = input.compute_done_s.size();
   if (input.bytes_up.size() != n || input.bytes_down.size() != n ||
       input.client_rate_bps.size() != n) {

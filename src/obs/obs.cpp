@@ -1,0 +1,47 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace fedsu::obs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kOff)};
+}  // namespace
+
+Level level() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_level.load(std::memory_order_relaxed) >=
+         static_cast<int>(Level::kMetrics);
+}
+
+bool trace_enabled() {
+  return g_level.load(std::memory_order_relaxed) >=
+         static_cast<int>(Level::kTrace);
+}
+
+Level parse_level(const std::string& text) {
+  if (text == "off") return Level::kOff;
+  if (text == "metrics") return Level::kMetrics;
+  if (text == "trace") return Level::kTrace;
+  throw std::invalid_argument("obs level must be off | metrics | trace, got '" +
+                              text + "'");
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kOff: return "off";
+    case Level::kMetrics: return "metrics";
+    case Level::kTrace: return "trace";
+  }
+  return "off";
+}
+
+}  // namespace fedsu::obs

@@ -1,0 +1,58 @@
+#include "obs/telemetry.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace fedsu::obs {
+
+TelemetryWriter::TelemetryWriter(const std::string& path, std::string protocol)
+    : out_(path), protocol_(std::move(protocol)) {
+  if (!out_) throw std::runtime_error("TelemetryWriter: cannot open " + path);
+}
+
+std::string TelemetryWriter::to_json_line(const fl::RoundRecord& record,
+                                          const std::string& protocol) {
+  std::string line = "{";
+  line += "\"round\": " + std::to_string(record.round);
+  line += ", \"protocol\": " + json_quote(protocol);
+  line += ", \"participants\": " + std::to_string(record.num_participants);
+  line += ", \"uploads_lost\": " + std::to_string(record.uploads_lost);
+  line += ", \"round_time_s\": " + json_number(record.round_time_s);
+  line += ", \"elapsed_time_s\": " + json_number(record.elapsed_time_s);
+  line += ", \"train_loss\": " + json_number(record.train_loss);
+  line += ", \"test_accuracy\": " +
+          (record.test_accuracy
+               ? json_number(static_cast<double>(*record.test_accuracy))
+               : std::string("null"));
+  line += ", \"bytes_up\": " + std::to_string(record.bytes_up);
+  line += ", \"bytes_down\": " + std::to_string(record.bytes_down);
+  line += ", \"sparsification_ratio\": " +
+          json_number(record.sparsification_ratio);
+  line += ", \"speculated_fraction\": " +
+          json_number(record.speculated_fraction);
+  line += ", \"fallback_syncs\": " + std::to_string(record.fallback_syncs);
+  line += ", \"wall\": {\"select_s\": " + json_number(record.wall.select_s);
+  line += ", \"train_s\": " + json_number(record.wall.train_s);
+  line += ", \"sync_s\": " + json_number(record.wall.sync_s);
+  line += ", \"timing_s\": " + json_number(record.wall.timing_s);
+  line += ", \"eval_s\": " + json_number(record.wall.eval_s);
+  line += ", \"total_s\": " + json_number(record.wall.total_s);
+  line += "}}";
+  return line;
+}
+
+void TelemetryWriter::append(const fl::RoundRecord& record) {
+  out_ << to_json_line(record, protocol_) << '\n';
+  // Flushed per record: a crashed long run keeps every completed round.
+  if (!out_.flush()) {
+    throw std::runtime_error("TelemetryWriter: write failed");
+  }
+  ++rows_;
+}
+
+std::function<void(const fl::RoundRecord&)> TelemetryWriter::hook() {
+  return [this](const fl::RoundRecord& record) { append(record); };
+}
+
+}  // namespace fedsu::obs

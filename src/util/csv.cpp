@@ -34,6 +34,10 @@ void CsvWriter::write_row(std::initializer_list<std::string> fields) {
   write_row(std::vector<std::string>(fields));
 }
 
+void CsvWriter::flush() {
+  if (!out_.flush()) throw std::runtime_error("CsvWriter: flush failed");
+}
+
 std::string CsvWriter::field(double value) {
   std::ostringstream os;
   os.precision(10);

@@ -17,6 +17,10 @@ class CsvWriter {
   void write_row(const std::vector<std::string>& fields);
   void write_row(std::initializer_list<std::string> fields);
 
+  // Pushes buffered rows to the OS; throws std::runtime_error if the stream
+  // failed. Call after each row for crash durability (fl::RoundTrace does).
+  void flush();
+
   // Convenience: formats doubles with enough precision for re-plotting.
   static std::string field(double value);
   static std::string field(long long value);

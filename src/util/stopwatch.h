@@ -1,4 +1,8 @@
 // Wall-clock stopwatch for overhead measurements (Table II).
+//
+// Built on std::chrono::steady_clock: readings are monotonic and immune to
+// wall-clock adjustments (NTP slews, DST), so elapsed times can never go
+// negative or jump.
 #pragma once
 
 #include <chrono>
@@ -7,9 +11,12 @@ namespace fedsu::util {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   double elapsed_seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -17,9 +24,20 @@ class Stopwatch {
 
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
+  // Seconds since the last lap() (or since construction/reset for the first
+  // call), advancing the lap marker. Splits one stopwatch into consecutive
+  // phase durations that sum to elapsed_seconds().
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace fedsu::util

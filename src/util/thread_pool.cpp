@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <exception>
 #include <memory>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace fedsu::util {
 
@@ -24,7 +27,8 @@ ThreadPool::ThreadPool(int num_threads) : size_(resolve_threads(num_threads)) {
   // size_ - 1 workers: the caller of parallel_for executes chunks too, so a
   // pool of size N uses exactly N threads while a region is running.
   for (int i = 0; i + 1 < size_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Worker 0 is the caller thread of parallel_for; spawned workers are 1..N.
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -37,7 +41,9 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  obs::Tracer::global().set_current_thread_name(
+      "util.pool.worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> job;
     {

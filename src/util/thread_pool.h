@@ -67,7 +67,7 @@ class ThreadPool {
   static void set_global_threads(int num_threads);
 
  private:
-  void worker_loop();
+  void worker_loop(int worker_index);
   void run_chunks(std::size_t begin, std::size_t end, std::size_t chunks,
                   const std::function<void(std::size_t, std::size_t,
                                            std::size_t)>& body);

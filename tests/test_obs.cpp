@@ -1,0 +1,329 @@
+// Observability subsystem tests: level gate, histogram bucket edges,
+// registry thread-safety, span nesting/export, per-round telemetry
+// invariants, and the must-not-perturb-results contract (DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fl/protocol_factory.h"
+#include "fl/simulation.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace fedsu {
+namespace {
+
+// Every test leaves the process-wide level as it found it (kOff by default)
+// so test order cannot leak instrumentation into unrelated suites.
+struct LevelGuard {
+  obs::Level old = obs::level();
+  ~LevelGuard() { obs::set_level(old); }
+};
+
+TEST(ObsLevel, ParseRoundTripsAndRejectsTypos) {
+  EXPECT_EQ(obs::parse_level("off"), obs::Level::kOff);
+  EXPECT_EQ(obs::parse_level("metrics"), obs::Level::kMetrics);
+  EXPECT_EQ(obs::parse_level("trace"), obs::Level::kTrace);
+  EXPECT_THROW(obs::parse_level("verbose"), std::invalid_argument);
+  EXPECT_STREQ(obs::level_name(obs::Level::kMetrics), "metrics");
+}
+
+TEST(ObsLevel, GuardsFollowTheLevel) {
+  LevelGuard guard;
+  obs::set_level(obs::Level::kOff);
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_FALSE(obs::trace_enabled());
+  obs::set_level(obs::Level::kMetrics);
+  EXPECT_TRUE(obs::metrics_enabled());
+  EXPECT_FALSE(obs::trace_enabled());
+  obs::set_level(obs::Level::kTrace);
+  EXPECT_TRUE(obs::metrics_enabled());
+  EXPECT_TRUE(obs::trace_enabled());
+}
+
+TEST(Histogram, LinearBucketEdges) {
+  obs::HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 10.0;
+  options.buckets = 10;
+  obs::Histogram h(options);
+  EXPECT_EQ(h.bucket_index(-0.001), -1);  // underflow
+  EXPECT_EQ(h.bucket_index(0.0), 0);      // lower edge inclusive
+  EXPECT_EQ(h.bucket_index(0.999), 0);
+  EXPECT_EQ(h.bucket_index(1.0), 1);      // bucket edges are lower-inclusive
+  EXPECT_EQ(h.bucket_index(9.999), 9);
+  EXPECT_EQ(h.bucket_index(10.0), 10);    // hi is exclusive -> overflow
+  EXPECT_EQ(h.bucket_index(1e9), 10);
+
+  h.record(-1.0);
+  h.record(0.5);
+  h.record(5.5);
+  h.record(42.0);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.underflow, 1u);
+  EXPECT_EQ(snap.overflow, 1u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[5], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, -1.0 + 0.5 + 5.5 + 42.0);
+}
+
+TEST(Histogram, LogScaleBucketEdges) {
+  obs::HistogramOptions options;
+  options.scale = obs::HistogramOptions::Scale::kLog;
+  options.lo = 1.0;
+  options.hi = 1024.0;
+  options.buckets = 10;  // exact powers of two per bucket
+  obs::Histogram h(options);
+  EXPECT_EQ(h.bucket_index(0.5), -1);
+  EXPECT_EQ(h.bucket_index(0.0), -1);   // log-underflow, not -inf
+  EXPECT_EQ(h.bucket_index(-3.0), -1);
+  EXPECT_EQ(h.bucket_index(1.0), 0);
+  EXPECT_EQ(h.bucket_index(1.99), 0);
+  EXPECT_EQ(h.bucket_index(2.0), 1);    // geometric edges, lower-inclusive
+  EXPECT_EQ(h.bucket_index(512.0), 9);
+  EXPECT_EQ(h.bucket_index(1023.9), 9);
+  EXPECT_EQ(h.bucket_index(1024.0), 10);  // overflow
+}
+
+TEST(Histogram, LogScaleRequiresPositiveLo) {
+  obs::HistogramOptions options;
+  options.scale = obs::HistogramOptions::Scale::kLog;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  EXPECT_THROW(obs::Histogram{options}, std::invalid_argument);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  obs::MetricsRegistry registry;
+  registry.counter("x.kind.conflict");
+  EXPECT_THROW(registry.gauge("x.kind.conflict"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x.kind.conflict"), std::logic_error);
+  // Re-registering the same kind returns the same object.
+  registry.counter("x.kind.conflict").add(3);
+  EXPECT_EQ(registry.counter("x.kind.conflict").value(), 3u);
+}
+
+// Snapshots taken while worker threads hammer the same metrics must be
+// race-free (the TSan job runs this) and the final totals exact.
+TEST(MetricsRegistry, SnapshotUnderConcurrentIncrements) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("test.concurrent.counter");
+  obs::HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  options.buckets = 4;
+  obs::Histogram& hist = registry.histogram("test.concurrent.hist", options);
+
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      EXPECT_LE(snap.counters.at("test.concurrent.counter"),
+                static_cast<std::uint64_t>(kThreads) * kIncrements);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.add(1);
+        hist.record((t * 0.25 + 0.1) / kThreads * 4.0 * 0.25);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("test.concurrent.counter"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(snap.histograms.at("test.concurrent.hist").count,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistry, JsonExportParsesBack) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.b.count").add(7);
+  registry.gauge("a.b.level").set(0.25);
+  obs::HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 4.0;
+  options.buckets = 4;
+  registry.histogram("a.b.hist", options).record(1.5);
+  const obs::JsonValue root = obs::json_parse(registry.to_json());
+  EXPECT_EQ(root.at("counters").at("a.b.count").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("a.b.level").as_number(), 0.25);
+  EXPECT_EQ(root.at("histograms").at("a.b.hist").at("count").as_number(), 1.0);
+}
+
+TEST(Tracer, SpanNestingAndOrdering) {
+  LevelGuard guard;
+  obs::set_level(obs::Level::kTrace);
+  obs::Tracer::global().reset();
+  {
+    OBS_SPAN("test.outer");
+    {
+      OBS_SPAN("test.inner_a");
+    }
+    {
+      OBS_SPAN("test.inner_b");
+    }
+  }
+  obs::set_level(obs::Level::kOff);
+  const std::vector<obs::SpanEvent> events = obs::Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // snapshot() orders by begin time: outer, then the inners in call order.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner_a");
+  EXPECT_STREQ(events[2].name, "test.inner_b");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 1);
+  // The outer interval contains both inner intervals.
+  EXPECT_LE(events[0].begin_ns, events[1].begin_ns);
+  EXPECT_GE(events[0].end_ns, events[2].end_ns);
+  EXPECT_LE(events[1].end_ns, events[2].begin_ns);  // sequential inners
+  obs::Tracer::global().reset();
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  LevelGuard guard;
+  obs::set_level(obs::Level::kOff);
+  obs::Tracer::global().reset();
+  {
+    OBS_SPAN("test.should_not_appear");
+  }
+  EXPECT_TRUE(obs::Tracer::global().snapshot().empty());
+}
+
+TEST(Tracer, ChromeJsonExportParses) {
+  LevelGuard guard;
+  obs::set_level(obs::Level::kTrace);
+  obs::Tracer::global().reset();
+  {
+    OBS_SPAN("test.export");
+  }
+  obs::set_level(obs::Level::kOff);
+  const obs::JsonValue root =
+      obs::json_parse(obs::Tracer::global().chrome_json());
+  bool found = false;
+  for (const obs::JsonValue& event : root.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    if (event.at("name").as_string() == "test.export") found = true;
+  }
+  EXPECT_TRUE(found);
+  obs::Tracer::global().reset();
+}
+
+fl::SimulationOptions tiny_options() {
+  fl::SimulationOptions options;
+  options.model.arch = "mlp";
+  options.model.image_size = 10;
+  options.model.hidden = 16;
+  options.dataset.image_size = 10;
+  options.dataset.train_count = 400;
+  options.dataset.test_count = 120;
+  options.num_clients = 4;
+  options.local.iterations = 4;
+  options.local.batch_size = 8;
+  options.local.learning_rate = 0.05f;
+  options.eval_every = 2;
+  return options;
+}
+
+std::unique_ptr<compress::SyncProtocol> proto_for(const std::string& name,
+                                                  int clients) {
+  fl::ProtocolConfig config;
+  config.name = name;
+  config.num_clients = clients;
+  return make_protocol(config);
+}
+
+TEST(Telemetry, ThreeRoundSimulationInvariants) {
+  LevelGuard guard;
+  obs::set_level(obs::Level::kMetrics);
+  const std::string path = ::testing::TempDir() + "/fedsu_obs_telemetry.jsonl";
+
+  fl::Simulation sim(tiny_options(), proto_for("fedsu", 4));
+  obs::TelemetryWriter telemetry(path, "fedsu");
+  sim.set_round_hook(telemetry.hook());
+  const std::vector<fl::RoundRecord> records = sim.run(3);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(telemetry.rows_written(), 3);
+
+  for (const fl::RoundRecord& r : records) {
+    EXPECT_GT(r.bytes_up, 0u);
+    EXPECT_GE(r.speculated_fraction, 0.0);
+    EXPECT_LE(r.speculated_fraction, 1.0);
+    EXPECT_GE(r.fallback_syncs, 0);
+    const double phase_sum = r.wall.select_s + r.wall.train_s + r.wall.sync_s +
+                             r.wall.timing_s + r.wall.eval_s;
+    EXPECT_GT(r.wall.total_s, 0.0);
+    EXPECT_LE(phase_sum, r.wall.total_s * 1.0001 + 1e-9);
+  }
+
+  // The JSONL re-parses and carries the same invariants.
+  std::ifstream in(path);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    const obs::JsonValue record = obs::json_parse(line);
+    EXPECT_EQ(record.at("protocol").as_string(), "fedsu");
+    EXPECT_GT(record.at("bytes_up").as_number(), 0.0);
+    const double spec = record.at("speculated_fraction").as_number();
+    EXPECT_GE(spec, 0.0);
+    EXPECT_LE(spec, 1.0);
+    EXPECT_EQ(static_cast<int>(record.at("round").as_number()), rows);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+// Telemetry bytes must equal the protocol's exact serialized payload: for
+// FedSU, one f32 per unpredictable parameter plus one per expiring error
+// scalar, per participant (pinned independently in test_invariants.cpp).
+TEST(Telemetry, BytesMatchSerializedPayload) {
+  fl::Simulation sim(tiny_options(), proto_for("fedavg", 4));
+  const fl::RoundRecord record = sim.step();
+  // FedAvg round 0: everyone uploads/downloads the dense f32 model.
+  const std::size_t per_client = sim.model_state_size() * sizeof(float);
+  EXPECT_EQ(record.bytes_up,
+            per_client * static_cast<std::size_t>(record.num_participants));
+  EXPECT_EQ(record.bytes_down, record.bytes_up);
+}
+
+// The determinism contract: instrumentation only observes. A traced run
+// must produce bit-identical weights to an untraced one.
+TEST(Obs, TracedRunIsBitwiseIdenticalToUntraced) {
+  LevelGuard guard;
+  obs::set_level(obs::Level::kOff);
+  fl::Simulation off(tiny_options(), proto_for("fedsu", 4));
+  off.run(3);
+
+  obs::set_level(obs::Level::kTrace);
+  fl::Simulation on(tiny_options(), proto_for("fedsu", 4));
+  on.run(3);
+  obs::set_level(obs::Level::kOff);
+  obs::Tracer::global().reset();
+
+  EXPECT_EQ(off.global_state(), on.global_state());
+}
+
+}  // namespace
+}  // namespace fedsu

@@ -254,7 +254,8 @@ TEST(SignSgdProtocol, BytesAreOneBitPerCoordinate) {
   proto.initialize(global);
   std::vector<std::vector<float>> states{std::vector<float>(800, 1.0f)};
   const auto result = proto.synchronize(ctx_of(0, 1), views(states));
-  EXPECT_EQ(result.bytes_up[0], 800u / 8 + 1 + sizeof(float));
+  // Exact serialized mask (ceil(800/8) bytes) + the f32 scale.
+  EXPECT_EQ(result.bytes_up[0], (800u + 7) / 8 + sizeof(float));
 }
 
 TEST(SignSgdProtocol, TieMeansNoMovement) {

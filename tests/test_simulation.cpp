@@ -213,6 +213,26 @@ TEST(Simulation, RoundTraceWritesCsvRows) {
   std::remove(path.c_str());
 }
 
+TEST(Simulation, RoundTraceRowsAreDurableBeforeDestruction) {
+  const std::string path = ::testing::TempDir() + "/fedsu_trace_flush_test.csv";
+  RoundTrace trace(path);
+  RoundRecord record;
+  record.round = 0;
+  record.bytes_up = 123;
+  trace.append(record);
+  record.round = 1;
+  trace.append(record);
+  // The writer is still alive — a killed process at this point must leave
+  // header + both rows on disk (per-row flush).
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(trace.rows_written(), 2);
+  std::remove(path.c_str());
+}
+
 TEST(Simulation, FlowLevelTimingRunsAndDiffersFromCoarse) {
   SimulationOptions coarse = tiny_options();
   coarse.eval_every = 0;

@@ -13,6 +13,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace fedsu::util {
 namespace {
@@ -248,6 +249,56 @@ TEST(Logging, ConcurrentWritersDoNotTearLines) {
   }
   EXPECT_EQ(count, kThreads * kLines);
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kLines));
+}
+
+TEST(Stopwatch, ElapsedIsMonotonicNonNegative) {
+  Stopwatch sw;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.elapsed_seconds();
+    EXPECT_GE(now, prev);  // steady_clock: readings never go backwards
+    prev = now;
+  }
+}
+
+TEST(Stopwatch, LapsPartitionElapsedTime) {
+  Stopwatch sw;
+  double lap_sum = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    volatile double sink = 0.0;
+    for (int k = 0; k < 10000; ++k) sink = sink + std::sqrt(double(k));
+    const double lap = sw.lap();
+    EXPECT_GE(lap, 0.0);
+    lap_sum += lap;
+  }
+  // The laps are consecutive disjoint intervals starting at construction,
+  // so their sum can never exceed the total elapsed time.
+  EXPECT_LE(lap_sum, sw.elapsed_seconds());
+  EXPECT_GT(lap_sum, 0.0);
+}
+
+TEST(Stopwatch, ResetRestartsLapMarker) {
+  Stopwatch sw;
+  (void)sw.lap();
+  sw.reset();
+  const double lap = sw.lap();
+  EXPECT_GE(lap, 0.0);
+  EXPECT_LE(lap, sw.elapsed_seconds() + 1e-9);
+}
+
+TEST(CsvWriter, FlushMakesRowsVisibleBeforeDestruction) {
+  const std::string path = ::testing::TempDir() + "/fedsu_csv_flush_test.csv";
+  CsvWriter csv(path);
+  csv.write_row({"a", "b"});
+  csv.write_row({"1", "2"});
+  csv.flush();
+  // Read back while the writer is still alive: the rows must be on disk.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
 }
 
 // Flipping the level while other threads log is race-free (the level is

@@ -1,0 +1,197 @@
+// Validates the observability outputs of a run — the CI telemetry gate.
+//
+//   ./validate_telemetry --trace trace.json --metrics metrics.json \
+//       --telemetry telemetry.jsonl [--expect-rounds N]
+//
+// Checks, per file (each optional; pass what the run produced):
+//   * trace: well-formed chrome://tracing JSON with >= 4 distinct span
+//     names across >= 2 distinct threads, every event with ts/dur >= 0;
+//   * metrics: fl.round.count and fl.round.bytes_up counters present and
+//     positive;
+//   * telemetry: every JSONL line parses, rounds are consecutive,
+//     bytes_up > 0, speculated_fraction in [0,1], and the per-phase wall
+//     durations sum to at most the round's total (within 10% slack for
+//     unattributed glue code).
+//
+// Exits 0 when every requested check passes, 1 otherwise — no Python
+// needed in CI.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "util/flags.h"
+
+namespace {
+
+using fedsu::obs::JsonValue;
+
+int g_failures = 0;
+
+void fail(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  ++g_failures;
+}
+
+void check(bool ok, const std::string& message) {
+  if (!ok) fail(message);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot open " + path);
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void validate_trace(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.empty()) return;
+  JsonValue root;
+  try {
+    root = fedsu::obs::json_parse(text);
+  } catch (const std::exception& e) {
+    fail(path + ": " + e.what());
+    return;
+  }
+  if (!root.has("traceEvents") || !root.at("traceEvents").is_array()) {
+    fail(path + ": no traceEvents array");
+    return;
+  }
+  std::set<std::string> span_names;
+  std::set<int> span_tids;
+  for (const JsonValue& event : root.at("traceEvents").as_array()) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph != "X") continue;  // skip metadata rows
+    span_names.insert(event.at("name").as_string());
+    span_tids.insert(static_cast<int>(event.at("tid").as_number()));
+    check(event.at("ts").as_number() >= 0.0, path + ": negative ts");
+    check(event.at("dur").as_number() >= 0.0, path + ": negative dur");
+  }
+  check(span_names.size() >= 4,
+        path + ": expected >= 4 distinct span names, got " +
+            std::to_string(span_names.size()));
+  check(span_tids.size() >= 2,
+        path + ": expected spans on >= 2 threads, got " +
+            std::to_string(span_tids.size()));
+  std::printf("%s: %zu span names across %zu threads\n", path.c_str(),
+              span_names.size(), span_tids.size());
+}
+
+void validate_metrics(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.empty()) return;
+  JsonValue root;
+  try {
+    root = fedsu::obs::json_parse(text);
+  } catch (const std::exception& e) {
+    fail(path + ": " + e.what());
+    return;
+  }
+  if (!root.has("counters")) {
+    fail(path + ": no counters object");
+    return;
+  }
+  const JsonValue& counters = root.at("counters");
+  for (const char* name : {"fl.round.count", "fl.round.bytes_up"}) {
+    if (!counters.has(name)) {
+      fail(path + ": missing counter " + name);
+      continue;
+    }
+    check(counters.at(name).as_number() > 0.0,
+          path + ": counter " + name + " is zero");
+  }
+  std::printf("%s: %zu counters, %zu gauges, %zu histograms\n", path.c_str(),
+              counters.as_object().size(),
+              root.has("gauges") ? root.at("gauges").as_object().size() : 0,
+              root.has("histograms")
+                  ? root.at("histograms").as_object().size()
+                  : 0);
+}
+
+void validate_telemetry(const std::string& path, int expect_rounds) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot open " + path);
+    return;
+  }
+  std::string line;
+  int rows = 0;
+  int prev_round = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue record;
+    try {
+      record = fedsu::obs::json_parse(line);
+    } catch (const std::exception& e) {
+      fail(path + " line " + std::to_string(rows + 1) + ": " + e.what());
+      return;
+    }
+    ++rows;
+    const int round = static_cast<int>(record.at("round").as_number());
+    check(rows == 1 || round == prev_round + 1,
+          path + ": rounds not consecutive at row " + std::to_string(rows));
+    prev_round = round;
+    check(record.at("bytes_up").as_number() > 0.0,
+          path + ": bytes_up not positive in round " + std::to_string(round));
+    const double spec = record.at("speculated_fraction").as_number();
+    check(spec >= 0.0 && spec <= 1.0,
+          path + ": speculated_fraction outside [0,1] in round " +
+              std::to_string(round));
+    const JsonValue& wall = record.at("wall");
+    const double phase_sum =
+        wall.at("select_s").as_number() + wall.at("train_s").as_number() +
+        wall.at("sync_s").as_number() + wall.at("timing_s").as_number() +
+        wall.at("eval_s").as_number();
+    const double total = wall.at("total_s").as_number();
+    check(phase_sum <= total * 1.1 + 1e-6,
+          path + ": wall phases exceed round total in round " +
+              std::to_string(round));
+  }
+  check(rows > 0, path + ": no telemetry rows");
+  if (expect_rounds > 0) {
+    check(rows == expect_rounds,
+          path + ": expected " + std::to_string(expect_rounds) +
+              " rounds, got " + std::to_string(rows));
+  }
+  std::printf("%s: %d telemetry rows\n", path.c_str(), rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fedsu::util::Flags flags;
+  flags.add_string("trace", "", "chrome://tracing JSON to validate")
+      .add_string("metrics", "", "metrics registry JSON to validate")
+      .add_string("telemetry", "", "per-round telemetry JSONL to validate")
+      .add_int("expect-rounds", 0,
+               "expected telemetry row count (0 = any non-zero)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::string trace = flags.get_string("trace");
+  const std::string metrics = flags.get_string("metrics");
+  const std::string telemetry = flags.get_string("telemetry");
+  if (trace.empty() && metrics.empty() && telemetry.empty()) {
+    std::fprintf(stderr, "nothing to validate (pass --trace / --metrics / "
+                         "--telemetry)\n");
+    return 1;
+  }
+  if (!trace.empty()) validate_trace(trace);
+  if (!metrics.empty()) validate_metrics(metrics);
+  if (!telemetry.empty()) {
+    validate_telemetry(telemetry,
+                       static_cast<int>(flags.get_int("expect-rounds")));
+  }
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("all checks passed\n");
+  return 0;
+}
