@@ -2,18 +2,20 @@
 
 #include <cstring>
 #include <stdexcept>
-#include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/init.h"
+#include "tensor/vectorized.h"
+#include "util/scratch_arena.h"
 #include "util/thread_pool.h"
 
 namespace fedsu::nn {
 
 namespace {
-// Same dispatch rule as the matmuls in tensor/ops.cpp: fan out on the global
-// pool only when the im2col GEMM is big enough to amortize dispatch. Each
-// sample of the batch is computed exactly as in the sequential loop, so
-// outputs are bitwise identical for any thread count.
+// Same dispatch rule as the matmuls in tensor/gemm.cpp: fan out on the
+// global pool only when the im2col GEMM is big enough to amortize dispatch.
+// Each sample of the batch is computed exactly as in the sequential loop,
+// so outputs are bitwise identical for any thread count.
 constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 20;
 
 bool should_parallelize(std::size_t batch, std::size_t macs) {
@@ -122,7 +124,15 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool /*train*/) {
   cached_ow_ = ow;
   const int fan_in = in_channels_ * kernel_ * kernel_;
   const int patch = oh * ow;
-  cached_cols_ = tensor::Tensor({n, fan_in, patch});
+  // resize() reuses the previous batch's buffer; im2col overwrites every
+  // element, so no clearing is needed. The shape check keeps steady-state
+  // batches from even building the temporary shape vector (one heap
+  // allocation the zero-alloc training-step test would see).
+  const auto& cshape = cached_cols_.shape();
+  if (cshape.size() != 3 || cshape[0] != n || cshape[1] != fan_in ||
+      cshape[2] != patch) {
+    cached_cols_.resize({n, fan_in, patch});
+  }
   tensor::Tensor out({n, out_channels_, oh, ow});
 
   const float* wmat = weight_.value.data();
@@ -133,22 +143,18 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool /*train*/) {
                   static_cast<std::size_t>(in) * fan_in * patch;
     im2col(input.data() + static_cast<std::size_t>(in) * in_channels_ * h * w,
            h, w, cols);
-    // out[in] = W[outC, fan_in] * cols[fan_in, patch]
+    // out[in] = W[outC, fan_in] * cols[fan_in, patch] (+ bias)
     float* y = out.data() + static_cast<std::size_t>(in) * out_channels_ * patch;
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      float* yrow = y + static_cast<std::size_t>(oc) * patch;
-      const float* wrow = wmat + static_cast<std::size_t>(oc) * fan_in;
-      if (has_bias_) {
-        const float b = bias_.value[static_cast<std::size_t>(oc)];
-        for (int p = 0; p < patch; ++p) yrow[p] = b;
-      }
-      for (int l = 0; l < fan_in; ++l) {
-        const float wv = wrow[l];
-        if (wv == 0.0f) continue;
-        const float* crow = cols + static_cast<std::size_t>(l) * patch;
-        for (int p = 0; p < patch; ++p) yrow[p] += wv * crow[p];
+    if (has_bias_) {
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        tensor::vec::fill(y + static_cast<std::size_t>(oc) * patch,
+                          bias_.value[static_cast<std::size_t>(oc)], patch);
       }
     }
+    tensor::gemm::sgemm(tensor::gemm::Variant::kNN, out_channels_, patch,
+                        fan_in, wmat, cols, y,
+                        has_bias_ ? tensor::gemm::Accumulate::kAdd
+                                  : tensor::gemm::Accumulate::kOverwrite);
   };
   const std::size_t macs = static_cast<std::size_t>(n) * out_channels_ *
                            fan_in * patch;
@@ -193,79 +199,76 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
     const float* cols = cached_cols_.data() +
                         static_cast<std::size_t>(in) * fan_in * patch;
     // dW_contrib = g[outC, patch] * cols[fan_in, patch]^T
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const float* grow = g + static_cast<std::size_t>(oc) * patch;
-      float* dwrow = dw_out + static_cast<std::size_t>(oc) * fan_in;
-      for (int l = 0; l < fan_in; ++l) {
-        const float* crow = cols + static_cast<std::size_t>(l) * patch;
-        float acc = 0.0f;
-        for (int p = 0; p < patch; ++p) acc += grow[p] * crow[p];
-        dwrow[l] = acc;
-      }
-      if (has_bias_) {
+    tensor::gemm::sgemm(tensor::gemm::Variant::kNT, out_channels_, fan_in,
+                        patch, g, cols, dw_out,
+                        tensor::gemm::Accumulate::kOverwrite);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        const float* grow = g + static_cast<std::size_t>(oc) * patch;
         float acc = 0.0f;
         for (int p = 0; p < patch; ++p) acc += grow[p];
         db_out[oc] = acc;
       }
     }
     // dcols = W^T[fan_in, outC] * g[outC, patch]
-    std::fill(dcols, dcols + static_cast<std::size_t>(fan_in) * patch, 0.0f);
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const float* grow = g + static_cast<std::size_t>(oc) * patch;
-      const float* wrow = wmat + static_cast<std::size_t>(oc) * fan_in;
-      for (int l = 0; l < fan_in; ++l) {
-        const float wv = wrow[l];
-        if (wv == 0.0f) continue;
-        float* drow = dcols + static_cast<std::size_t>(l) * patch;
-        for (int p = 0; p < patch; ++p) drow[p] += wv * grow[p];
-      }
-    }
+    tensor::gemm::sgemm(tensor::gemm::Variant::kTN, fan_in, patch,
+                        out_channels_, wmat, g, dcols,
+                        tensor::gemm::Accumulate::kOverwrite);
     col2im(dcols, h, w,
            dx.data() + static_cast<std::size_t>(in) * in_channels_ * h * w);
   };
 
+  // All scratch below comes from per-thread arenas: after the first batch
+  // of a given shape, backward makes no heap allocations (test_gemm.cpp).
   const std::size_t macs = 2 * static_cast<std::size_t>(n) * out_channels_ *
                            fan_in * patch;
   if (should_parallelize(static_cast<std::size_t>(n), macs)) {
     // Per-sample contributions are computed in parallel (disjoint buffers),
     // then folded into the shared grads in ascending sample order — the very
     // order the sequential loop uses, so grads stay bitwise identical.
-    std::vector<float> dw_contrib(static_cast<std::size_t>(n) * wsize);
-    std::vector<float> db_contrib(
-        has_bias_ ? static_cast<std::size_t>(n) * out_channels_ : 0);
+    util::ScratchArena& arena = util::ScratchArena::local();
+    util::ScratchArena::Frame frame(arena);
+    float* dw_contrib = arena.floats(static_cast<std::size_t>(n) * wsize);
+    float* db_contrib =
+        has_bias_ ? arena.floats(static_cast<std::size_t>(n) * out_channels_)
+                  : nullptr;
     util::ThreadPool::global().parallel_for(
         0, static_cast<std::size_t>(n), [&](std::size_t b, std::size_t e) {
-          std::vector<float> dcols(static_cast<std::size_t>(fan_in) * patch);
+          util::ScratchArena& worker_arena = util::ScratchArena::local();
+          util::ScratchArena::Frame worker_frame(worker_arena);
+          float* dcols =
+              worker_arena.floats(static_cast<std::size_t>(fan_in) * patch);
           for (std::size_t in = b; in < e; ++in) {
-            backward_sample(static_cast<int>(in), dw_contrib.data() + in * wsize,
-                            has_bias_ ? db_contrib.data() + in * out_channels_
+            backward_sample(static_cast<int>(in), dw_contrib + in * wsize,
+                            has_bias_ ? db_contrib + in * out_channels_
                                       : nullptr,
-                            dcols.data());
+                            dcols);
           }
         });
     for (int in = 0; in < n; ++in) {
-      const float* dw = dw_contrib.data() + static_cast<std::size_t>(in) * wsize;
-      for (std::size_t i = 0; i < wsize; ++i) dwmat[i] += dw[i];
+      tensor::vec::add(dwmat,
+                       dw_contrib + static_cast<std::size_t>(in) * wsize,
+                       wsize);
       if (has_bias_) {
-        const float* db =
-            db_contrib.data() + static_cast<std::size_t>(in) * out_channels_;
-        for (int oc = 0; oc < out_channels_; ++oc) {
-          bias_.grad[static_cast<std::size_t>(oc)] += db[oc];
-        }
+        tensor::vec::add(bias_.grad.data(),
+                         db_contrib + static_cast<std::size_t>(in) * out_channels_,
+                         static_cast<std::size_t>(out_channels_));
       }
     }
   } else {
-    std::vector<float> dcols(static_cast<std::size_t>(fan_in) * patch);
-    std::vector<float> dw_sample(wsize);
-    std::vector<float> db_sample(has_bias_ ? out_channels_ : 0);
+    util::ScratchArena& arena = util::ScratchArena::local();
+    util::ScratchArena::Frame frame(arena);
+    float* dcols = arena.floats(static_cast<std::size_t>(fan_in) * patch);
+    float* dw_sample = arena.floats(wsize);
+    float* db_sample =
+        has_bias_ ? arena.floats(static_cast<std::size_t>(out_channels_))
+                  : nullptr;
     for (int in = 0; in < n; ++in) {
-      backward_sample(in, dw_sample.data(),
-                      has_bias_ ? db_sample.data() : nullptr, dcols.data());
-      for (std::size_t i = 0; i < wsize; ++i) dwmat[i] += dw_sample[i];
+      backward_sample(in, dw_sample, db_sample, dcols);
+      tensor::vec::add(dwmat, dw_sample, wsize);
       if (has_bias_) {
-        for (int oc = 0; oc < out_channels_; ++oc) {
-          bias_.grad[static_cast<std::size_t>(oc)] += db_sample[oc];
-        }
+        tensor::vec::add(bias_.grad.data(), db_sample,
+                         static_cast<std::size_t>(out_channels_));
       }
     }
   }

@@ -34,7 +34,9 @@ class Conv2d : public Module {
   Param weight_;  // [outC, inC*k*k]
   Param bias_;    // [outC]
   tensor::Tensor cached_input_;
-  tensor::Tensor cached_cols_;  // [N, inC*k*k, oh*ow] flattened
+  // [N, inC*k*k, oh*ow] flattened; resize()d per forward so the buffer's
+  // capacity is reused across batches instead of reallocated.
+  tensor::Tensor cached_cols_;
   int cached_oh_ = 0;
   int cached_ow_ = 0;
 };

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "tensor/gemm.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "tensor/vectorized.h"
 
 namespace fedsu::nn {
 
@@ -32,7 +34,9 @@ tensor::Tensor Linear::forward(const tensor::Tensor& input, bool /*train*/) {
   if (has_bias_) {
     const int n = out.dim(0);
     for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < out_features_; ++j) out.at(i, j) += bias_.value[j];
+      tensor::vec::add(out.data() + static_cast<std::size_t>(i) * out_features_,
+                       bias_.value.data(),
+                       static_cast<std::size_t>(out_features_));
     }
   }
   return out;
@@ -45,14 +49,16 @@ tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
     throw std::invalid_argument("Linear::backward: bad grad shape " +
                                 grad_output.shape_string());
   }
-  // dW[out,in] = dy[N,out]^T * x[N,in]
-  tensor::Tensor dw = tensor::matmul_tn(grad_output, cached_input_);
-  tensor::add_inplace(weight_.grad, dw);
+  // dW[out,in] += dy[N,out]^T * x[N,in] — accumulated straight into the
+  // grad buffer (no temporary) via the GEMM's beta=1 mode.
+  tensor::gemm::sgemm(tensor::gemm::Variant::kTN, out_features_, in_features_,
+                      n, grad_output.data(), cached_input_.data(),
+                      weight_.grad.data(), tensor::gemm::Accumulate::kAdd);
   if (has_bias_) {
     for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < out_features_; ++j) {
-        bias_.grad[static_cast<std::size_t>(j)] += grad_output.at(i, j);
-      }
+      tensor::vec::add(bias_.grad.data(),
+                       grad_output.data() + static_cast<std::size_t>(i) * out_features_,
+                       static_cast<std::size_t>(out_features_));
     }
   }
   // dx[N,in] = dy[N,out] * W[out,in]

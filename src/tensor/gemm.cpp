@@ -1,0 +1,427 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/vectorized.h"
+#include "util/scratch_arena.h"
+#include "util/thread_pool.h"
+
+namespace fedsu::tensor::gemm {
+
+namespace {
+
+// Register micro-tile: MR x NR accumulators live in registers across the
+// whole KC slice — eight 8-float vector locals, i.e. 8 YMM registers under
+// AVX2/AVX-512VL and 16 XMM pairs under baseline SSE2; neither spills.
+constexpr int MR = 8;
+constexpr int NR = 8;
+// Cache tiles: the packed (MC x KC) A panel (64 KiB) sits in L2, the packed
+// (KC x NC) B panel (256 KiB) in L2/L3, and one KC x NR B micro-panel (8 KiB)
+// streams through L1 per micro-tile column.
+constexpr int MC = 64;
+constexpr int KC = 256;
+constexpr int NC = 256;
+
+// Same fan-out threshold as the pre-blocked kernels (tensor/ops.cpp): below
+// ~1M multiply-accumulates, pool dispatch costs more than it buys.
+constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 20;
+
+constexpr int round_up(int v, int unit) { return (v + unit - 1) / unit * unit; }
+
+// Packs rows [ic, ic+mc) x k-slice [pc, pc+kc) of op(A) into MR-tall
+// micro-panels: panel `ir` holds kc groups of MR consecutive floats, one
+// group per k step, rows beyond mc zero-padded. The packing absorbs the
+// kTN transpose so the micro-kernel never sees a stride.
+void pack_a(Variant v, const float* a, int m, int k, int ic, int mc, int pc,
+            int kc, float* FEDSU_RESTRICT ap) {
+  for (int ir = 0; ir < mc; ir += MR) {
+    const int mr = std::min(MR, mc - ir);
+    float* panel = ap + static_cast<std::size_t>(ir) * kc;
+    for (int p = 0; p < kc; ++p) {
+      float* dst = panel + static_cast<std::size_t>(p) * MR;
+      if (v == Variant::kTN) {
+        // A stored [k, m]: column ic+ir+i of op(A) is contiguous in memory.
+        const float* src =
+            a + static_cast<std::size_t>(pc + p) * m + (ic + ir);
+        for (int i = 0; i < mr; ++i) dst[i] = src[i];
+      } else {
+        // kNN / kNT: A stored [m, k].
+        const float* src =
+            a + static_cast<std::size_t>(ic + ir) * k + (pc + p);
+        for (int i = 0; i < mr; ++i) dst[i] = src[static_cast<std::size_t>(i) * k];
+      }
+      for (int i = mr; i < MR; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+// Packs columns [jc, jc+nc) x k-slice [pc, pc+kc) of op(B) into NR-wide
+// micro-panels (layout mirror of pack_a), absorbing the kNT transpose.
+void pack_b(Variant v, const float* b, int n, int k, int jc, int nc, int pc,
+            int kc, float* FEDSU_RESTRICT bp) {
+  for (int jr = 0; jr < nc; jr += NR) {
+    const int nr = std::min(NR, nc - jr);
+    float* panel = bp + static_cast<std::size_t>(jr) * kc;
+    for (int p = 0; p < kc; ++p) {
+      float* dst = panel + static_cast<std::size_t>(p) * NR;
+      if (v == Variant::kNT) {
+        // B stored [n, k]: row jc+jr+j supplies element (p, j).
+        const float* src =
+            b + static_cast<std::size_t>(jc + jr) * k + (pc + p);
+        for (int j = 0; j < nr; ++j) dst[j] = src[static_cast<std::size_t>(j) * k];
+      } else {
+        // kNN / kTN: B stored [k, n].
+        const float* src =
+            b + static_cast<std::size_t>(pc + p) * n + (jc + jr);
+        for (int j = 0; j < nr; ++j) dst[j] = src[j];
+      }
+      for (int j = nr; j < NR; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+// The innermost loop of everything: C[mr][nr] (+)= ap[kc][MR] x bp[kc][NR].
+//
+// The accumulators are eight vector-typed locals (GNU `vector_size`
+// extension — portable across GCC and Clang, still compiler-generated code,
+// no platform intrinsics). Plain `float acc[MR][NR]` arrays do NOT work
+// here: both GCC and Clang leave the array on the stack and turn every
+// update into load+op+store, which caps the kernel at ~5 GFLOP/s. Vector
+// locals make the register allocation explicit — one 8-float accumulator
+// per row lives in a register across the whole KC slice, and each k step is
+// MR fused multiply-adds against one streamed B vector.
+//
+// The body is compiled several times under different target attributes
+// (baseline, AVX2+FMA, AVX-512VL) and selected once per process by
+// `__builtin_cpu_supports` — the library itself stays a baseline x86-64
+// binary. Lane-for-lane the summation order over k is identical in every
+// clone, so results are bitwise reproducible for a given binary on a given
+// machine at any --threads; across CPU generations the FMA contraction
+// differs, which §5b (DESIGN.md) explicitly scopes out.
+typedef float v8sf __attribute__((vector_size(4 * NR), may_alias,
+                                  aligned(alignof(float))));
+
+// A macro rather than an inline function: returning a 256-bit vector from a
+// function compiled for baseline x86-64 trips -Wpsabi (the call never
+// materializes — everything inlines — but the warning fires at the
+// definition).
+#define FEDSU_SPLAT8(x) \
+  v8sf { (x), (x), (x), (x), (x), (x), (x), (x) }
+
+template <bool kOverwrite>
+__attribute__((always_inline)) inline void micro_kernel_body(
+    int kc, const float* FEDSU_RESTRICT ap, const float* FEDSU_RESTRICT bp,
+    float* FEDSU_RESTRICT c, int ldc, int mr, int nr) {
+  v8sf acc0{}, acc1{}, acc2{}, acc3{}, acc4{}, acc5{}, acc6{}, acc7{};
+  for (int p = 0; p < kc; ++p) {
+    const float* FEDSU_RESTRICT av = ap + static_cast<std::size_t>(p) * MR;
+    const v8sf bv =
+        *reinterpret_cast<const v8sf*>(bp + static_cast<std::size_t>(p) * NR);
+    acc0 += FEDSU_SPLAT8(av[0]) * bv;
+    acc1 += FEDSU_SPLAT8(av[1]) * bv;
+    acc2 += FEDSU_SPLAT8(av[2]) * bv;
+    acc3 += FEDSU_SPLAT8(av[3]) * bv;
+    acc4 += FEDSU_SPLAT8(av[4]) * bv;
+    acc5 += FEDSU_SPLAT8(av[5]) * bv;
+    acc6 += FEDSU_SPLAT8(av[6]) * bv;
+    acc7 += FEDSU_SPLAT8(av[7]) * bv;
+  }
+  const v8sf accs[MR] = {acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7};
+  if (nr == NR) {
+    for (int i = 0; i < mr; ++i) {
+      v8sf* crow = reinterpret_cast<v8sf*>(c + static_cast<std::size_t>(i) * ldc);
+      if (kOverwrite) *crow = accs[i];
+      else *crow += accs[i];
+    }
+  } else {
+    for (int i = 0; i < mr; ++i) {
+      float* FEDSU_RESTRICT crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < nr; ++j) {
+        if (kOverwrite) crow[j] = accs[i][j];
+        else crow[j] += accs[i][j];
+      }
+    }
+  }
+}
+
+// Direct-B variant: identical FMA sequence, but B is read in place with a
+// row stride instead of from a packed panel. For kNN/kTN the j-run of op(B)
+// is contiguous in memory, so packing B buys nothing when the panel is
+// reused by only a few row-blocks — and the per-sample conv GEMMs have
+// m = out_channels of 6..32, where the pack traffic (~2*n*kc floats) costs
+// more than half the kernel time. Operand values and per-lane accumulation
+// order match the packed path exactly; the choice between the two paths
+// depends only on (variant, m), never on the thread chunk, so §5b holds.
+template <bool kOverwrite>
+__attribute__((always_inline)) inline void micro_kernel_direct_body(
+    int kc, const float* FEDSU_RESTRICT ap, const float* FEDSU_RESTRICT bs,
+    int ldb, float* FEDSU_RESTRICT c, int ldc, int mr, int nr) {
+  if (nr == NR) {
+    v8sf acc0{}, acc1{}, acc2{}, acc3{}, acc4{}, acc5{}, acc6{}, acc7{};
+    for (int p = 0; p < kc; ++p) {
+      const float* FEDSU_RESTRICT av = ap + static_cast<std::size_t>(p) * MR;
+      const v8sf bv = *reinterpret_cast<const v8sf*>(
+          bs + static_cast<std::size_t>(p) * ldb);
+      acc0 += FEDSU_SPLAT8(av[0]) * bv;
+      acc1 += FEDSU_SPLAT8(av[1]) * bv;
+      acc2 += FEDSU_SPLAT8(av[2]) * bv;
+      acc3 += FEDSU_SPLAT8(av[3]) * bv;
+      acc4 += FEDSU_SPLAT8(av[4]) * bv;
+      acc5 += FEDSU_SPLAT8(av[5]) * bv;
+      acc6 += FEDSU_SPLAT8(av[6]) * bv;
+      acc7 += FEDSU_SPLAT8(av[7]) * bv;
+    }
+    const v8sf accs[MR] = {acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7};
+    for (int i = 0; i < mr; ++i) {
+      v8sf* crow =
+          reinterpret_cast<v8sf*>(c + static_cast<std::size_t>(i) * ldc);
+      if (kOverwrite) *crow = accs[i];
+      else *crow += accs[i];
+    }
+  } else {
+    // Ragged right edge: one scalar accumulator column per live lane. Each
+    // lane's p-order matches the vector path, so the edge is seam-free.
+    for (int j = 0; j < nr; ++j) {
+      float acc[MR] = {};
+      const float* FEDSU_RESTRICT bcol = bs + j;
+      for (int p = 0; p < kc; ++p) {
+        const float bvj = bcol[static_cast<std::size_t>(p) * ldb];
+        const float* FEDSU_RESTRICT av =
+            ap + static_cast<std::size_t>(p) * MR;
+        for (int i = 0; i < MR; ++i) acc[i] += av[i] * bvj;
+      }
+      for (int i = 0; i < mr; ++i) {
+        float* cij = c + static_cast<std::size_t>(i) * ldc + j;
+        if (kOverwrite) *cij = acc[i];
+        else *cij += acc[i];
+      }
+    }
+  }
+}
+
+using MicroKernelFn = void (*)(int kc, const float* ap, const float* bp,
+                               float* c, int ldc, int mr, int nr);
+using MicroKernelDirectFn = void (*)(int kc, const float* ap,
+                                     const float* bs, int ldb, float* c,
+                                     int ldc, int mr, int nr);
+
+void micro_kernel_generic_ov(int kc, const float* ap, const float* bp,
+                             float* c, int ldc, int mr, int nr) {
+  micro_kernel_body<true>(kc, ap, bp, c, ldc, mr, nr);
+}
+void micro_kernel_generic_add(int kc, const float* ap, const float* bp,
+                              float* c, int ldc, int mr, int nr) {
+  micro_kernel_body<false>(kc, ap, bp, c, ldc, mr, nr);
+}
+void micro_kernel_direct_generic_ov(int kc, const float* ap, const float* bs,
+                                    int ldb, float* c, int ldc, int mr,
+                                    int nr) {
+  micro_kernel_direct_body<true>(kc, ap, bs, ldb, c, ldc, mr, nr);
+}
+void micro_kernel_direct_generic_add(int kc, const float* ap,
+                                     const float* bs, int ldb, float* c,
+                                     int ldc, int mr, int nr) {
+  micro_kernel_direct_body<false>(kc, ap, bs, ldb, c, ldc, mr, nr);
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FEDSU_GEMM_X86_DISPATCH 1
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2_ov(
+    int kc, const float* ap, const float* bp, float* c, int ldc, int mr,
+    int nr) {
+  micro_kernel_body<true>(kc, ap, bp, c, ldc, mr, nr);
+}
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2_add(
+    int kc, const float* ap, const float* bp, float* c, int ldc, int mr,
+    int nr) {
+  micro_kernel_body<false>(kc, ap, bp, c, ldc, mr, nr);
+}
+__attribute__((target("avx512f,avx512vl,avx2,fma"))) void
+micro_kernel_avx512_ov(int kc, const float* ap, const float* bp, float* c,
+                       int ldc, int mr, int nr) {
+  micro_kernel_body<true>(kc, ap, bp, c, ldc, mr, nr);
+}
+__attribute__((target("avx512f,avx512vl,avx2,fma"))) void
+micro_kernel_avx512_add(int kc, const float* ap, const float* bp, float* c,
+                        int ldc, int mr, int nr) {
+  micro_kernel_body<false>(kc, ap, bp, c, ldc, mr, nr);
+}
+__attribute__((target("avx2,fma"))) void micro_kernel_direct_avx2_ov(
+    int kc, const float* ap, const float* bs, int ldb, float* c, int ldc,
+    int mr, int nr) {
+  micro_kernel_direct_body<true>(kc, ap, bs, ldb, c, ldc, mr, nr);
+}
+__attribute__((target("avx2,fma"))) void micro_kernel_direct_avx2_add(
+    int kc, const float* ap, const float* bs, int ldb, float* c, int ldc,
+    int mr, int nr) {
+  micro_kernel_direct_body<false>(kc, ap, bs, ldb, c, ldc, mr, nr);
+}
+__attribute__((target("avx512f,avx512vl,avx2,fma"))) void
+micro_kernel_direct_avx512_ov(int kc, const float* ap, const float* bs,
+                              int ldb, float* c, int ldc, int mr, int nr) {
+  micro_kernel_direct_body<true>(kc, ap, bs, ldb, c, ldc, mr, nr);
+}
+__attribute__((target("avx512f,avx512vl,avx2,fma"))) void
+micro_kernel_direct_avx512_add(int kc, const float* ap, const float* bs,
+                               int ldb, float* c, int ldc, int mr, int nr) {
+  micro_kernel_direct_body<false>(kc, ap, bs, ldb, c, ldc, mr, nr);
+}
+#endif
+
+struct MicroKernels {
+  MicroKernelFn overwrite;
+  MicroKernelFn add;
+  MicroKernelDirectFn direct_overwrite;
+  MicroKernelDirectFn direct_add;
+};
+
+MicroKernels select_micro_kernels() {
+#ifdef FEDSU_GEMM_X86_DISPATCH
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return {micro_kernel_avx512_ov, micro_kernel_avx512_add,
+            micro_kernel_direct_avx512_ov, micro_kernel_direct_avx512_add};
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {micro_kernel_avx2_ov, micro_kernel_avx2_add,
+            micro_kernel_direct_avx2_ov, micro_kernel_direct_avx2_add};
+  }
+#endif
+  return {micro_kernel_generic_ov, micro_kernel_generic_add,
+          micro_kernel_direct_generic_ov, micro_kernel_direct_generic_add};
+}
+
+// Resolved once before main(); every thread reads the same two pointers.
+const MicroKernels kMicroKernels = select_micro_kernels();
+
+// Degenerate-shape path (m or n too small for the micro-tile to pay for
+// packing): straight loops with the same per-element accumulation order as
+// a single-KC-block run. Selected from the full (m, n) only — never from
+// the thread-chunk size — so the kernel choice, and therefore every output
+// bit, is thread-count independent.
+void small_gemm_rows(Variant v, int m_begin, int m_end, int m, int n, int k,
+                     const float* a, const float* b, float* c,
+                     Accumulate accumulate) {
+  for (int i = m_begin; i < m_end; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    if (v == Variant::kNT) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
+        if (accumulate == Accumulate::kAdd) crow[j] += acc;
+        else crow[j] = acc;
+      }
+    } else {
+      if (accumulate == Accumulate::kOverwrite) vec::fill(crow, 0.0f, n);
+      for (int l = 0; l < k; ++l) {
+        const float av = (v == Variant::kTN)
+                             ? a[static_cast<std::size_t>(l) * m + i]
+                             : a[static_cast<std::size_t>(i) * k + l];
+        vec::axpy(crow, av, b + static_cast<std::size_t>(l) * n, n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_rows(Variant variant, int m_begin, int m_end, int m, int n, int k,
+                const float* a, const float* b, float* c,
+                Accumulate accumulate) {
+  if (m_begin >= m_end || n <= 0) return;
+  if (k <= 0) {
+    if (accumulate == Accumulate::kOverwrite) {
+      vec::fill(c + static_cast<std::size_t>(m_begin) * n, 0.0f,
+                static_cast<std::size_t>(m_end - m_begin) * n);
+    }
+    return;
+  }
+  if (m < 4 || n < 4) {
+    small_gemm_rows(variant, m_begin, m_end, m, n, k, a, b, c, accumulate);
+    return;
+  }
+
+  // For kNN/kTN, op(B)'s j-run is contiguous in memory, so when few row
+  // blocks would reuse a packed panel the kernel reads B in place instead
+  // (same operand values, same per-lane accumulation order). Decided from
+  // the full m, not this thread's chunk, so the path — and the bits — are
+  // thread-count invariant.
+  const bool direct_b = (variant != Variant::kNT) && m < MC;
+
+  util::ScratchArena& arena = util::ScratchArena::local();
+  util::ScratchArena::Frame frame(arena);
+  const int kc_max = std::min(KC, k);
+  float* bpack = direct_b
+                     ? nullptr
+                     : arena.floats(static_cast<std::size_t>(round_up(
+                           std::min(NC, n), NR)) * kc_max);
+  float* apack = arena.floats(static_cast<std::size_t>(
+      round_up(std::min(MC, m_end - m_begin), MR)) * kc_max);
+
+  for (int jc = 0; jc < n; jc += NC) {
+    const int nc = std::min(NC, n - jc);
+    for (int pc = 0; pc < k; pc += KC) {
+      const int kc = std::min(KC, k - pc);
+      if (!direct_b) pack_b(variant, b, n, k, jc, nc, pc, kc, bpack);
+      // The first KC block honors the caller's accumulate mode; later
+      // blocks always add. Per element this is a fixed ascending-KC-block
+      // order regardless of how rows were split across threads.
+      const bool first_block =
+          pc == 0 && accumulate == Accumulate::kOverwrite;
+      const MicroKernelFn kernel =
+          first_block ? kMicroKernels.overwrite : kMicroKernels.add;
+      const MicroKernelDirectFn direct_kernel =
+          first_block ? kMicroKernels.direct_overwrite
+                      : kMicroKernels.direct_add;
+      for (int ic = m_begin; ic < m_end; ic += MC) {
+        const int mc = std::min(MC, m_end - ic);
+        pack_a(variant, a, m, k, ic, mc, pc, kc, apack);
+        for (int jr = 0; jr < nc; jr += NR) {
+          const int nr = std::min(NR, nc - jr);
+          for (int ir = 0; ir < mc; ir += MR) {
+            const int mr = std::min(MR, mc - ir);
+            const float* apanel = apack + static_cast<std::size_t>(ir) * kc;
+            float* ctile =
+                c + static_cast<std::size_t>(ic + ir) * n + (jc + jr);
+            if (direct_b) {
+              // op(B) is [k, n] for both kNN and kTN.
+              direct_kernel(kc, apanel,
+                            b + static_cast<std::size_t>(pc) * n + (jc + jr),
+                            n, ctile, n, mr, nr);
+            } else {
+              kernel(kc, apanel, bpack + static_cast<std::size_t>(jr) * kc,
+                     ctile, n, mr, nr);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void sgemm(Variant variant, int m, int n, int k, const float* a,
+           const float* b, float* c, Accumulate accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const std::size_t macs = static_cast<std::size_t>(m) * n * (k > 0 ? k : 1);
+  if (m > 1 && macs >= kParallelMacThreshold) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.worth_parallelizing()) {
+      pool.parallel_for(
+          0, static_cast<std::size_t>(m),
+          [=](std::size_t row_begin, std::size_t row_end) {
+            sgemm_rows(variant, static_cast<int>(row_begin),
+                       static_cast<int>(row_end), m, n, k, a, b, c,
+                       accumulate);
+          },
+          /*grain=*/MR);
+      return;
+    }
+  }
+  sgemm_rows(variant, 0, m, m, n, k, a, b, c, accumulate);
+}
+
+}  // namespace fedsu::tensor::gemm

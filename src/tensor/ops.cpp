@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <stdexcept>
 
-#include "util/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/vectorized.h"
 
 namespace fedsu::tensor {
 
@@ -15,28 +15,6 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
     throw std::invalid_argument(std::string(op) + ": shape mismatch " +
                                 a.shape_string() + " vs " + b.shape_string());
   }
-}
-
-// Minimum multiply-accumulate count before a matmul fans out on the global
-// pool; below it, dispatch overhead beats the parallel win (and small unit
-// tests never even construct the pool). Each output row is produced by
-// exactly one chunk with the same inner-loop order as the sequential code,
-// so results are bitwise identical for every thread count (DESIGN.md
-// §"Determinism under parallelism").
-constexpr std::size_t kParallelMacThreshold = std::size_t{1} << 20;
-
-// Runs body(row_begin, row_end) over [0, rows), parallel only when the MAC
-// count clears the threshold and the calling thread is not already a worker.
-void for_each_row_block(std::size_t rows, std::size_t macs,
-                        const std::function<void(std::size_t, std::size_t)>& body) {
-  if (rows > 1 && macs >= kParallelMacThreshold) {
-    util::ThreadPool& pool = util::ThreadPool::global();
-    if (pool.worth_parallelizing()) {
-      pool.parallel_for(0, rows, body);
-      return;
-    }
-  }
-  body(0, rows);
 }
 }  // namespace
 
@@ -57,38 +35,29 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   Tensor out = a;
-  float* o = out.data();
-  const float* q = b.data();
-  for (std::size_t i = 0; i < out.size(); ++i) o[i] *= q[i];
+  vec::mul(out.data(), b.data(), out.size());
   return out;
 }
 
 Tensor scale(const Tensor& a, float s) {
   Tensor out = a;
-  float* o = out.data();
-  for (std::size_t i = 0; i < out.size(); ++i) o[i] *= s;
+  vec::scale(out.data(), s, out.size());
   return out;
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
-  float* p = a.data();
-  const float* q = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) p[i] += q[i];
+  vec::add(a.data(), b.data(), a.size());
 }
 
 void sub_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub_inplace");
-  float* p = a.data();
-  const float* q = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) p[i] -= q[i];
+  vec::sub(a.data(), b.data(), a.size());
 }
 
 void axpy(Tensor& y, float alpha, const Tensor& x) {
   check_same_shape(y, x, "axpy");
-  float* p = y.data();
-  const float* q = x.data();
-  for (std::size_t i = 0; i < y.size(); ++i) p[i] += alpha * q[i];
+  vec::axpy(y.data(), alpha, x.data(), y.size());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -98,23 +67,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for_each_row_block(
-      static_cast<std::size_t>(m),
-      static_cast<std::size_t>(m) * k * n,
-      [=](std::size_t row_begin, std::size_t row_end) {
-        for (std::size_t i = row_begin; i < row_end; ++i) {
-          float* crow = pc + i * n;
-          for (int l = 0; l < k; ++l) {
-            const float av = pa[i * k + l];
-            if (av == 0.0f) continue;
-            const float* brow = pb + static_cast<std::size_t>(l) * n;
-            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      });
+  gemm::sgemm(gemm::Variant::kNN, m, n, k, a.data(), b.data(), c.data(),
+              gemm::Accumulate::kOverwrite);
   return c;
 }
 
@@ -125,26 +79,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   }
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Output-row-major loop order (i outer) so rows can split across workers;
-  // each element still accumulates over l in ascending order, exactly as the
-  // l-outer sequential form did.
-  for_each_row_block(
-      static_cast<std::size_t>(m),
-      static_cast<std::size_t>(m) * k * n,
-      [=](std::size_t row_begin, std::size_t row_end) {
-        for (std::size_t i = row_begin; i < row_end; ++i) {
-          float* crow = pc + i * n;
-          for (int l = 0; l < k; ++l) {
-            const float av = pa[static_cast<std::size_t>(l) * m + i];
-            if (av == 0.0f) continue;
-            const float* brow = pb + static_cast<std::size_t>(l) * n;
-            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      });
+  gemm::sgemm(gemm::Variant::kTN, m, n, k, a.data(), b.data(), c.data(),
+              gemm::Accumulate::kOverwrite);
   return c;
 }
 
@@ -155,31 +91,13 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for_each_row_block(
-      static_cast<std::size_t>(m),
-      static_cast<std::size_t>(m) * k * n,
-      [=](std::size_t row_begin, std::size_t row_end) {
-        for (std::size_t i = row_begin; i < row_end; ++i) {
-          const float* arow = pa + i * k;
-          float* crow = pc + i * n;
-          for (int j = 0; j < n; ++j) {
-            const float* brow = pb + static_cast<std::size_t>(j) * k;
-            float acc = 0.0f;
-            for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
-            crow[j] = acc;
-          }
-        }
-      });
+  gemm::sgemm(gemm::Variant::kNT, m, n, k, a.data(), b.data(), c.data(),
+              gemm::Accumulate::kOverwrite);
   return c;
 }
 
 float sum(const Tensor& a) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i];
-  return static_cast<float>(acc);
+  return static_cast<float>(vec::sum(a.data(), a.size()));
 }
 
 float mean(const Tensor& a) {
@@ -205,33 +123,29 @@ std::size_t argmax(const float* begin, std::size_t n) {
   return best;
 }
 
-float l2_norm(const Tensor& a) { return l2_norm(a.vec()); }
+float l2_norm(const Tensor& a) {
+  return static_cast<float>(std::sqrt(vec::l2_sq(a.data(), a.size())));
+}
 
 float l2_norm(const std::vector<float>& a) {
-  double acc = 0.0;
-  for (float v : a) acc += static_cast<double>(v) * v;
-  return static_cast<float>(std::sqrt(acc));
+  return static_cast<float>(std::sqrt(vec::l2_sq(a.data(), a.size())));
 }
 
 float dot(const std::vector<float>& a, const std::vector<float>& b) {
   if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * b[i];
-  }
-  return static_cast<float>(acc);
+  return static_cast<float>(vec::dot(a.data(), b.data(), a.size()));
 }
 
 void vec_axpy(std::vector<float>& y, float alpha, const std::vector<float>& x) {
   if (y.size() != x.size()) throw std::invalid_argument("vec_axpy: size mismatch");
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+  vec::axpy(y.data(), alpha, x.data(), y.size());
 }
 
 std::vector<float> vec_sub(const std::vector<float>& a,
                            const std::vector<float>& b) {
   if (a.size() != b.size()) throw std::invalid_argument("vec_sub: size mismatch");
   std::vector<float> out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  vec::diff(out.data(), a.data(), b.data(), a.size());
   return out;
 }
 
@@ -239,12 +153,7 @@ float vec_l2_diff(const std::vector<float>& a, const std::vector<float>& b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("vec_l2_diff: size mismatch");
   }
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return static_cast<float>(std::sqrt(acc));
+  return static_cast<float>(std::sqrt(vec::l2_diff_sq(a.data(), b.data(), a.size())));
 }
 
 }  // namespace fedsu::tensor

@@ -1,5 +1,7 @@
 // Free-function tensor operations. All shape errors throw
-// std::invalid_argument; hot paths use raw loops the compiler vectorizes.
+// std::invalid_argument. Elementwise paths route through the inline SIMD
+// helpers in tensor/vectorized.h; the matmuls route through the blocked
+// packed kernels in tensor/gemm.h.
 #pragma once
 
 #include <cstddef>
@@ -21,10 +23,11 @@ void sub_inplace(Tensor& a, const Tensor& b);
 void axpy(Tensor& y, float alpha, const Tensor& x);  // y += alpha * x
 
 // --- matmul ---
-// C[m,n] = A[m,k] * B[k,n]. Plain ikj loop with accumulation rows. Large
-// products split their output rows across util::ThreadPool::global();
-// because every row keeps the sequential inner-loop order, results are
-// bitwise identical for any thread count.
+// C[m,n] = A[m,k] * B[k,n] via the cache-blocked, register-tiled kernel in
+// tensor/gemm.h. Large products split their output rows across
+// util::ThreadPool::global(); each element's accumulation order is fixed
+// by the KC tiling alone, so results are bitwise identical for any thread
+// count (DESIGN.md §5b).
 Tensor matmul(const Tensor& a, const Tensor& b);
 // C[m,n] = A[k,m]^T * B[k,n]
 Tensor matmul_tn(const Tensor& a, const Tensor& b);

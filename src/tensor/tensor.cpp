@@ -37,6 +37,12 @@ Tensor Tensor::reshaped(std::vector<int> new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::resize(std::vector<int> new_shape) {
+  const std::size_t n = shape_size(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(n);
+}
+
 void Tensor::fill(float value) {
   for (auto& v : data_) v = value;
 }

@@ -76,6 +76,13 @@ class Tensor {
   // Returns a reshaped copy-free tensor (element count must match).
   Tensor reshaped(std::vector<int> new_shape) const;
 
+  // Re-shapes in place, reusing the existing heap buffer whenever its
+  // capacity suffices (the per-batch scratch tensors in the training loop
+  // rely on this to stop reallocating). Surviving elements keep their old
+  // values and grown elements are zero — callers that need a clean buffer
+  // must overwrite or zero() it.
+  void resize(std::vector<int> new_shape);
+
   void fill(float value);
   void zero() { fill(0.0f); }
 

@@ -1,0 +1,58 @@
+#include "util/scratch_arena.h"
+
+#include <algorithm>
+#include <new>
+
+namespace fedsu::util {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+// First block is big enough that small-model training never grows twice.
+constexpr std::size_t kMinBlockBytes = std::size_t{1} << 16;  // 64 KiB
+}  // namespace
+
+ScratchArena::~ScratchArena() {
+  for (const Block& b : blocks_) {
+    ::operator delete(b.data, std::align_val_t{kAlign});
+  }
+}
+
+void* ScratchArena::bytes(std::size_t size) {
+  std::size_t need = (size + (kAlign - 1)) & ~(kAlign - 1);
+  if (need == 0) need = kAlign;
+  // Skip forward to the first block with room (blocks past the cursor hold
+  // only rewound — dead — data, so restarting them at offset 0 is safe).
+  while (block_ < blocks_.size() &&
+         need > blocks_[block_].capacity - offset_) {
+    ++block_;
+    offset_ = 0;
+  }
+  if (block_ >= blocks_.size()) grow(need);
+  void* p = static_cast<char*>(blocks_[block_].data) + offset_;
+  offset_ += need;
+  return p;
+}
+
+void ScratchArena::grow(std::size_t size) {
+  // Double total capacity each growth so the block count stays logarithmic
+  // in peak demand and the cursor walk above stays cheap.
+  const std::size_t capacity =
+      std::max({size, kMinBlockBytes, 2 * capacity_bytes()});
+  blocks_.push_back(
+      {::operator new(capacity, std::align_val_t{kAlign}), capacity});
+  block_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+std::size_t ScratchArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace fedsu::util

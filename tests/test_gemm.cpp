@@ -1,0 +1,285 @@
+// tensor/gemm blocked kernels: correctness vs a double-precision reference
+// on randomized shapes (including tails and degenerate edges), accumulate
+// mode, bitwise thread-count invariance (the DESIGN.md §5b contract, same
+// pattern as test_thread_pool.cpp), and the zero-allocation contract of the
+// scratch-arena-backed Conv2d/GEMM training path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/scratch_arena.h"
+#include "util/thread_pool.h"
+
+// Counts every global operator new so the steady-state training step can be
+// shown to allocate nothing beyond its returned tensors. Sanitizer builds
+// replace the allocator themselves, so the interposer is compiled out there
+// and those tests fall back to arena-level accounting only.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FEDSU_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FEDSU_SANITIZED 1
+#endif
+#endif
+#ifndef FEDSU_SANITIZED
+#define FEDSU_COUNT_ALLOCS 1
+#endif
+
+#ifdef FEDSU_COUNT_ALLOCS
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // FEDSU_COUNT_ALLOCS
+
+namespace fedsu::tensor {
+namespace {
+
+using gemm::Accumulate;
+using gemm::Variant;
+
+std::vector<float> random_buffer(std::size_t n, util::Rng& rng) {
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+// Double-precision naive reference for all three variants.
+std::vector<double> reference(Variant v, int m, int n, int k,
+                              const std::vector<float>& a,
+                              const std::vector<float>& b) {
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int l = 0; l < k; ++l) {
+        double av = 0.0, bv = 0.0;
+        switch (v) {
+          case Variant::kNN:
+            av = a[static_cast<std::size_t>(i) * k + l];
+            bv = b[static_cast<std::size_t>(l) * n + j];
+            break;
+          case Variant::kTN:
+            av = a[static_cast<std::size_t>(l) * m + i];
+            bv = b[static_cast<std::size_t>(l) * n + j];
+            break;
+          case Variant::kNT:
+            av = a[static_cast<std::size_t>(i) * k + l];
+            bv = b[static_cast<std::size_t>(j) * k + l];
+            break;
+        }
+        acc += av * bv;
+      }
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+void expect_matches_reference(Variant v, int m, int n, int k) {
+  util::Rng rng(static_cast<std::uint64_t>(m) * 1000003 + n * 1009 + k);
+  const std::size_t a_size = static_cast<std::size_t>(m) * k;
+  const std::size_t b_size = static_cast<std::size_t>(n) * k;
+  const std::vector<float> a = random_buffer(a_size, rng);
+  const std::vector<float> b = random_buffer(b_size, rng);
+  const std::vector<double> ref = reference(v, m, n, k, a, b);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm::sgemm_rows(v, 0, m, m, n, k, a.data(), b.data(), c.data(),
+                   Accumulate::kOverwrite);
+  // Float accumulation error grows with k; 1e-5 * k is ~100x the expected
+  // worst case for inputs in [-1, 1].
+  const double tol = 1e-6 * k + 1e-5;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], tol)
+        << "variant " << static_cast<int>(v) << " m=" << m << " n=" << n
+        << " k=" << k << " index " << i;
+  }
+}
+
+TEST(Gemm, MatchesReferenceAcrossShapesAndVariants) {
+  // Tile-aligned, tails in every dimension, and unit edges — for every
+  // variant. MR=NR=8, MC=64, KC=256, NC=256 in gemm.cpp; shapes straddle
+  // all those boundaries.
+  const int shapes[][3] = {
+      {1, 1, 1},    {1, 7, 5},    {7, 1, 3},    {3, 3, 1},   {8, 8, 8},
+      {16, 16, 16}, {9, 17, 33},  {13, 29, 7},  {64, 64, 64}, {65, 63, 31},
+      {5, 300, 3},  {2, 9, 500},  {100, 10, 257}, {33, 257, 70},
+  };
+  for (const auto& s : shapes) {
+    for (Variant v : {Variant::kNN, Variant::kTN, Variant::kNT}) {
+      expect_matches_reference(v, s[0], s[1], s[2]);
+    }
+  }
+}
+
+TEST(Gemm, AccumulateModeAddsOntoExistingC) {
+  const int m = 13, n = 21, k = 40;
+  util::Rng rng(7);
+  const std::vector<float> a = random_buffer(static_cast<std::size_t>(m) * k, rng);
+  const std::vector<float> b = random_buffer(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> base = random_buffer(static_cast<std::size_t>(m) * n, rng);
+
+  std::vector<float> product(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm::sgemm_rows(Variant::kNN, 0, m, m, n, k, a.data(), b.data(),
+                   product.data(), Accumulate::kOverwrite);
+  std::vector<float> accumulated = base;
+  gemm::sgemm_rows(Variant::kNN, 0, m, m, n, k, a.data(), b.data(),
+                   accumulated.data(), Accumulate::kAdd);
+  for (std::size_t i = 0; i < accumulated.size(); ++i) {
+    // Single KC block (k < 256), so kAdd is exactly base + product.
+    ASSERT_FLOAT_EQ(accumulated[i], base[i] + product[i]) << "index " << i;
+  }
+}
+
+TEST(Gemm, KZeroOverwritesWithZerosAndAddIsNoOp) {
+  std::vector<float> c(12, 3.5f);
+  gemm::sgemm_rows(Variant::kNN, 0, 3, 3, 4, 0, nullptr, nullptr, c.data(),
+                   Accumulate::kAdd);
+  for (float v : c) EXPECT_EQ(v, 3.5f);
+  gemm::sgemm_rows(Variant::kNN, 0, 3, 3, 4, 0, nullptr, nullptr, c.data(),
+                   Accumulate::kOverwrite);
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+// A row's bits may not depend on which worker computes it or where the
+// thread chunk boundaries land (DESIGN.md §5b rule 4). The shape clears the
+// 2^20-MAC fan-out threshold so the pooled run really does split rows.
+TEST(Gemm, BitwiseIdenticalAcrossThreadCounts) {
+  const int m = 96, n = 112, k = 128;
+  util::Rng rng(11);
+  const std::vector<float> a = random_buffer(static_cast<std::size_t>(m) * k, rng);
+  const std::vector<float> b = random_buffer(static_cast<std::size_t>(k) * n, rng);
+
+  std::vector<std::vector<float>> results;
+  for (int threads : {1, 3, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+    gemm::sgemm(Variant::kNN, m, n, k, a.data(), b.data(), c.data(),
+                Accumulate::kOverwrite);
+    results.push_back(std::move(c));
+  }
+  util::ThreadPool::set_global_threads(1);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(std::memcmp(results[0].data(), results[i].data(),
+                          results[0].size() * sizeof(float)),
+              0)
+        << "GEMM output diverged between 1 thread and variant " << i;
+  }
+}
+
+TEST(Gemm, MatmulWrappersRouteThroughBlockedKernel) {
+  util::Rng rng(3);
+  Tensor a({9, 14}, random_buffer(9 * 14, rng));
+  Tensor b({14, 11}, random_buffer(14 * 11, rng));
+  const Tensor c = matmul(a, b);
+  const std::vector<double> ref =
+      reference(Variant::kNN, 9, 11, 14, a.vec(), b.vec());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], 1e-4) << "index " << i;
+  }
+
+  Tensor at({14, 9}, random_buffer(14 * 9, rng));
+  const Tensor ctn = matmul_tn(at, b);
+  const std::vector<double> ref_tn =
+      reference(Variant::kTN, 9, 11, 14, at.vec(), b.vec());
+  for (std::size_t i = 0; i < ctn.size(); ++i) {
+    ASSERT_NEAR(ctn[i], ref_tn[i], 1e-4) << "index " << i;
+  }
+
+  Tensor bt({11, 14}, random_buffer(11 * 14, rng));
+  const Tensor cnt = matmul_nt(a, bt);
+  const std::vector<double> ref_nt =
+      reference(Variant::kNT, 9, 11, 14, a.vec(), bt.vec());
+  for (std::size_t i = 0; i < cnt.size(); ++i) {
+    ASSERT_NEAR(cnt[i], ref_nt[i], 1e-4) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedsu::tensor
+
+namespace fedsu::nn {
+namespace {
+
+// One warmed-up Conv2d training step must not grow any scratch arena and —
+// where the allocation interposer is active — must heap-allocate only the
+// tensors it returns (the forward activation and backward dx, two vector
+// buffers each: shape + data).
+TEST(ScratchPath, ConvTrainingStepIsAllocationFreeAfterWarmup) {
+  util::Rng rng(5);
+  // Small enough that neither the batch loop nor the GEMMs fan out, so the
+  // whole step runs on this thread and its arena.
+  Conv2d conv(3, 8, 3, rng, /*stride=*/1, /*padding=*/1);
+  tensor::Tensor input({2, 3, 12, 12});
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  tensor::Tensor grad({2, 8, 12, 12});
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  auto step = [&] {
+    tensor::Tensor out = conv.forward(input, /*train=*/true);
+    tensor::Tensor dx = conv.backward(grad);
+    return out[0] + dx[0];  // keep both live
+  };
+
+  step();  // warm-up: grows the arena and cached_cols_ to steady state
+
+  util::ScratchArena& arena = util::ScratchArena::local();
+  const std::size_t grow_before = arena.grow_count();
+  const std::size_t capacity_before = arena.capacity_bytes();
+
+#ifdef FEDSU_COUNT_ALLOCS
+  const std::size_t alloc_base = g_alloc_count.load();
+  step();
+  const std::size_t alloc_step2 = g_alloc_count.load() - alloc_base;
+  step();
+  const std::size_t alloc_step3 = g_alloc_count.load() - alloc_base - alloc_step2;
+  // Steady state: identical allocation count per step, and only the
+  // returned tensors (out: shape+data, dx: shape+data) plus nothing else.
+  EXPECT_EQ(alloc_step2, alloc_step3);
+  EXPECT_LE(alloc_step2, 4u);
+#else
+  step();
+  step();
+#endif
+
+  EXPECT_EQ(arena.grow_count(), grow_before)
+      << "scratch arena grew after warm-up";
+  EXPECT_EQ(arena.capacity_bytes(), capacity_before);
+}
+
+}  // namespace
+}  // namespace fedsu::nn

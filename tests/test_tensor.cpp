@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "tensor/vectorized.h"
 #include "util/rng.h"
 
 namespace fedsu::tensor {
@@ -152,6 +155,87 @@ TEST(Ops, VectorHelpers) {
   EXPECT_FLOAT_EQ(a[2], 15.0f);
   std::vector<float> bad{1.0f};
   EXPECT_THROW(dot(a, bad), std::invalid_argument);
+}
+
+TEST(Tensor, ResizeReusesCapacityAndZeroFillsGrowth) {
+  Tensor t({4, 8});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = 1.0f;
+  const float* big = t.data();
+  // Shrink: same buffer, surviving elements keep their values.
+  t.resize({2, 8});
+  EXPECT_EQ(t.data(), big);
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t[0], 1.0f);
+  // Grow back within capacity: still the same buffer, new tail is zero.
+  t.resize({4, 8});
+  EXPECT_EQ(t.data(), big);
+  EXPECT_EQ(t[31], 0.0f);
+}
+
+// The inline kernels in tensor/vectorized.h are the implementation behind
+// the ops above; exercise them directly, including unaligned lengths that
+// force scalar epilogues, and the double-accumulator reductions.
+TEST(Vectorized, ElementwiseKernels) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                        std::size_t{1000}, std::size_t{1003}}) {
+    util::Rng rng(n);
+    std::vector<float> y(n), x(n), expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+      x[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    std::vector<float> work = y;
+    for (std::size_t i = 0; i < n; ++i) expected[i] = y[i] + 3.5f * x[i];
+    vec::axpy(work.data(), 3.5f, x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(work[i], expected[i]);
+
+    work = y;
+    vec::add(work.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(work[i], y[i] + x[i]);
+
+    work = y;
+    vec::sub(work.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(work[i], y[i] - x[i]);
+
+    work = y;
+    vec::mul(work.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(work[i], y[i] * x[i]);
+
+    work = y;
+    vec::scale(work.data(), -0.25f, n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(work[i], -0.25f * y[i]);
+
+    std::vector<float> out(n);
+    vec::diff(out.data(), y.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(out[i], y[i] - x[i]);
+
+    vec::fill(work.data(), 7.0f, n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(work[i], 7.0f);
+  }
+}
+
+TEST(Vectorized, ReductionsUseDoubleAccumulation) {
+  // 1e8 + many small values: a float accumulator would drop them entirely;
+  // the double accumulator must not.
+  std::vector<float> a(1001, 1.0f);
+  a[0] = 1e8f;
+  EXPECT_DOUBLE_EQ(vec::sum(a.data(), a.size()), 1e8 + 1000.0);
+  const std::vector<float> ones(1001, 1.0f);
+  EXPECT_DOUBLE_EQ(vec::dot(a.data(), ones.data(), a.size()), 1e8 + 1000.0);
+  EXPECT_DOUBLE_EQ(vec::l2_sq(ones.data(), ones.size()), 1001.0);
+  std::vector<float> b(1001, 0.0f);
+  EXPECT_DOUBLE_EQ(vec::l2_diff_sq(ones.data(), b.data(), ones.size()), 1001.0);
+}
+
+// IEEE semantics through the kernels: a zero operand against Inf/NaN must
+// propagate NaN, which the old `if (av == 0.0f) continue;` matmul shortcut
+// silently suppressed (0 * Inf was skipped instead of producing NaN).
+TEST(Ops, MatmulPropagatesNanFromZeroTimesInf) {
+  Tensor a({1, 2}, {0.0f, 1.0f});
+  Tensor b({2, 1}, {std::numeric_limits<float>::infinity(), 2.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c[0]));
 }
 
 TEST(Init, KaimingVarianceMatchesFanIn) {

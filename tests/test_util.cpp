@@ -9,10 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include <cstdint>
+
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/scratch_arena.h"
 #include "util/stopwatch.h"
 
 namespace fedsu::util {
@@ -319,6 +322,89 @@ TEST(Logging, LevelFlipDuringConcurrentLoggingIsSafe) {
   testing::internal::GetCapturedStdout();
   set_log_level(old);
   SUCCEED();
+}
+
+TEST(ScratchArena, ReturnsAlignedDistinctBuffers) {
+  ScratchArena arena;
+  ScratchArena::Frame frame(arena);
+  float* a = arena.floats(100);
+  float* b = arena.floats(1);
+  float* c = arena.floats(0);  // zero-count still yields a valid pointer
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  // Buffers in the same frame never overlap.
+  EXPECT_GE(b, a + 100);
+  a[99] = 1.0f;
+  b[0] = 2.0f;
+  EXPECT_EQ(a[99], 1.0f);
+}
+
+TEST(ScratchArena, FrameRewindReusesSpaceWithoutGrowth) {
+  ScratchArena arena;
+  float* first = nullptr;
+  {
+    ScratchArena::Frame frame(arena);
+    first = arena.floats(512);
+  }
+  const std::size_t grown = arena.grow_count();
+  for (int repeat = 0; repeat < 100; ++repeat) {
+    ScratchArena::Frame frame(arena);
+    // Same request pattern lands on the same memory, allocation-free.
+    EXPECT_EQ(arena.floats(512), first);
+  }
+  EXPECT_EQ(arena.grow_count(), grown);
+}
+
+TEST(ScratchArena, NestedFramesRestoreLifo) {
+  ScratchArena arena;
+  ScratchArena::Frame outer(arena);
+  float* outer_buf = arena.floats(64);
+  outer_buf[0] = 42.0f;
+  float* inner_buf = nullptr;
+  {
+    ScratchArena::Frame inner(arena);
+    inner_buf = arena.floats(64);
+    EXPECT_GE(inner_buf, outer_buf + 64);  // outer allocation untouched
+  }
+  // After the inner frame pops, its space is handed out again...
+  EXPECT_EQ(arena.floats(64), inner_buf);
+  // ...and the outer allocation survived both the frame and the reuse.
+  EXPECT_EQ(outer_buf[0], 42.0f);
+}
+
+TEST(ScratchArena, GrowsAcrossBlocksAndRetainsCapacity) {
+  ScratchArena arena;
+  {
+    ScratchArena::Frame frame(arena);
+    // Force several growths: each request exceeds everything so far.
+    arena.floats(1 << 14);
+    arena.floats(1 << 16);
+    arena.floats(1 << 18);
+  }
+  const std::size_t capacity = arena.capacity_bytes();
+  const std::size_t grown = arena.grow_count();
+  EXPECT_GE(capacity, (std::size_t{1} << 18) * sizeof(float));
+  {
+    ScratchArena::Frame frame(arena);
+    // Repeating the peak pattern fits in retained capacity.
+    arena.floats(1 << 14);
+    arena.floats(1 << 16);
+    arena.floats(1 << 18);
+  }
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.grow_count(), grown);
+}
+
+TEST(ScratchArena, LocalIsPerThread) {
+  ScratchArena* main_arena = &ScratchArena::local();
+  EXPECT_EQ(main_arena, &ScratchArena::local());
+  ScratchArena* other = nullptr;
+  std::thread t([&] { other = &ScratchArena::local(); });
+  t.join();
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(other, main_arena);
 }
 
 }  // namespace
