@@ -60,6 +60,10 @@ struct BenchConfig {
   std::string metrics_out;         // metrics registry JSON (or .csv)
   std::string trace_out;           // chrome://tracing timeline JSON
   std::string telemetry_out;       // per-round telemetry JSONL
+  // Fault injection & churn (fl/faults, docs/FAULT_MODEL.md). All zero by
+  // default: the fault layer stays off and results are bitwise identical to
+  // a faultless build.
+  fl::FaultOptions faults;
 };
 
 inline util::Flags make_flags(const BenchConfig& defaults) {
@@ -93,7 +97,34 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
       .add_string("trace-out", defaults.trace_out,
                   "write a chrome://tracing span timeline JSON")
       .add_string("telemetry-out", defaults.telemetry_out,
-                  "write per-round telemetry JSONL");
+                  "write per-round telemetry JSONL")
+      .add_double("faults-churn", defaults.faults.crash_probability,
+                  "per-round crash probability per client")
+      .add_int("faults-crash-rounds", defaults.faults.crash_rounds_max,
+               "max rounds a crashed client stays away")
+      .add_double("faults-straggler", defaults.faults.straggler_probability,
+                  "per-round straggler probability per client")
+      .add_double("faults-straggler-factor",
+                  defaults.faults.straggler_compute_factor,
+                  "compute & comm slowdown multiplier for stragglers")
+      .add_double("faults-loss", defaults.faults.upload_loss_probability,
+                  "per-attempt upload loss probability")
+      .add_int("faults-retries", defaults.faults.max_retries,
+               "upload retries after a lost attempt")
+      .add_double("faults-backoff-s", defaults.faults.retry_backoff_s,
+                  "simulated seconds between upload attempts")
+      .add_double("faults-corrupt", defaults.faults.corruption_probability,
+                  "per-upload payload corruption probability")
+      .add_double("faults-deadline-s", defaults.faults.deadline_s,
+                  "server round deadline in simulated seconds (0 = none)")
+      .add_double("faults-over-select", defaults.faults.over_select_fraction,
+                  "extra participation fraction started as fault headroom")
+      .add_int("faults-min-quorum", defaults.faults.min_quorum,
+               "minimum aggregated uploads; below it the round stalls")
+      .add_int("faults-seed", static_cast<long long>(defaults.faults.seed),
+               "fault schedule seed (mixed with --seed)")
+      .add_string("faults-trace", defaults.faults.trace_csv,
+                  "CSV fault trace (round,client,event,value)");
   return flags;
 }
 
@@ -153,6 +184,24 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
   config.metrics_out = flags.get_string("metrics-out");
   config.trace_out = flags.get_string("trace-out");
   config.telemetry_out = flags.get_string("telemetry-out");
+  config.faults.crash_probability = flags.get_double("faults-churn");
+  config.faults.crash_rounds_max =
+      static_cast<int>(flags.get_int("faults-crash-rounds"));
+  config.faults.straggler_probability = flags.get_double("faults-straggler");
+  config.faults.straggler_compute_factor =
+      flags.get_double("faults-straggler-factor");
+  config.faults.straggler_comm_factor =
+      flags.get_double("faults-straggler-factor");
+  config.faults.upload_loss_probability = flags.get_double("faults-loss");
+  config.faults.max_retries = static_cast<int>(flags.get_int("faults-retries"));
+  config.faults.retry_backoff_s = flags.get_double("faults-backoff-s");
+  config.faults.corruption_probability = flags.get_double("faults-corrupt");
+  config.faults.deadline_s = flags.get_double("faults-deadline-s");
+  config.faults.over_select_fraction = flags.get_double("faults-over-select");
+  config.faults.min_quorum =
+      static_cast<int>(flags.get_int("faults-min-quorum"));
+  config.faults.seed = static_cast<std::uint64_t>(flags.get_int("faults-seed"));
+  config.faults.trace_csv = flags.get_string("faults-trace");
   obs::set_level(resolve_obs_level(config));
   return config;
 }
@@ -187,6 +236,7 @@ inline fl::SimulationOptions simulation_options(const BenchConfig& config) {
   options.eval_every = config.eval_every;
   options.seed = config.seed;
   options.threads = config.threads;
+  options.faults = config.faults;
   return options;
 }
 

@@ -61,6 +61,18 @@ class SyncProtocol {
   // (e.g. FedSU's predictability mask + no-check periods, §V dynamicity).
   virtual std::size_t join_state_bytes() const { return 0; }
 
+  // A previously-known client reappeared after an absence (crash/rejoin
+  // churn, DESIGN.md §10). Its local replica is stale: the server forces a
+  // full re-sync, and protocols with per-client speculation state must
+  // invalidate it here — a rejoiner must never speculate from a stale slope
+  // or contribute a partially-observed error accumulator (docs/
+  // FAULT_MODEL.md). Returns the extra bytes the rejoiner re-downloads
+  // beyond the model itself. Default: no per-client state, nothing to do.
+  virtual std::size_t on_client_rejoin(int client_id) {
+    (void)client_id;
+    return 0;
+  }
+
   // Resident memory of protocol bookkeeping (Table II memory inflation).
   virtual std::size_t state_bytes() const { return 0; }
 

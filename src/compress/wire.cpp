@@ -1,5 +1,6 @@
 #include "compress/wire.h"
 
+#include <array>
 #include <stdexcept>
 #include <string>
 
@@ -143,6 +144,25 @@ QuantizedPayload decode_quantized(const std::vector<std::uint8_t>& bytes,
   }
   payload.scale = reader.read_f32();
   return payload;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 void record_round_bytes(const char* protocol, std::size_t bytes_up,

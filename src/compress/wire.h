@@ -52,6 +52,12 @@ struct QuantizedPayload {
 QuantizedPayload decode_quantized(const std::vector<std::uint8_t>& bytes,
                                   std::size_t count, int bits);
 
+// CRC-32 (IEEE 802.3 polynomial, bit-reflected) over a payload. The fault
+// layer (fl/faults, DESIGN.md §10) stamps every simulated upload with this
+// checksum so corrupted-in-transit payloads are detected and discarded; any
+// single-bit flip changes the CRC.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
 // Adds one round's totals to the global metrics registry counters
 // `compress.<protocol>.rounds` / `.bytes_up` / `.bytes_down`. No-op unless
 // obs metrics are enabled; called once per round, so the name lookup is off

@@ -1,5 +1,6 @@
 #include "core/fedsu_manager.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,6 +36,8 @@ void FedSuManager::initialize(std::span<const float> global_state) {
   no_check_remaining_.assign(p, 0);
   client_err_.assign(static_cast<std::size_t>(num_clients_),
                      std::vector<float>(p, 0.0f));
+  phase_start_round_.assign(p, 0);
+  rejoin_stamp_.assign(static_cast<std::size_t>(num_clients_), 0);
   linear_rounds_.assign(p, 0);
   rounds_seen_ = 0;
   last_ratio_ = 0.0;
@@ -48,6 +51,21 @@ void FedSuManager::on_client_join(int client_id) {
   // The joiner downloads the masks/periods/slopes (join_state_bytes()) and
   // starts with a clean local error accumulator.
   client_err_.emplace_back(global_.size(), 0.0f);
+  rejoin_stamp_.push_back(0);
+}
+
+std::size_t FedSuManager::on_client_rejoin(int client_id) {
+  if (client_id < 0 || client_id >= num_clients_) {
+    throw std::out_of_range("FedSuManager: rejoining client id out of range");
+  }
+  auto& err = client_err_[static_cast<std::size_t>(client_id)];
+  std::fill(err.begin(), err.end(), 0.0f);
+  rejoin_stamp_[static_cast<std::size_t>(client_id)] = rounds_seen_;
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global().counter("core.fedsu.rejoins").add(1);
+  }
+  // The forced re-download is the same payload a fresh joiner pulls.
+  return join_state_bytes();
 }
 
 compress::SyncResult FedSuManager::synchronize(
@@ -116,13 +134,30 @@ compress::SyncResult FedSuManager::synchronize(
     // The client uploads its accumulated local error for this parameter.
     up_payload.push_back(
         client_err_[static_cast<std::size_t>(ctx.participants[0])][j]);
+    // Aggregate only accumulators that cover the whole speculation phase: a
+    // client that rejoined after the phase started (rejoin_stamp_ >
+    // phase_start_round_) missed earlier error terms, and Eq. 3 sums from
+    // the phase start. Without churn every participant is valid and the
+    // mean is bit-identical to the unfiltered one.
     double err_acc = 0.0;
+    std::size_t valid = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      err_acc += client_err_[static_cast<std::size_t>(ctx.participants[i])][j];
+      const auto id = static_cast<std::size_t>(ctx.participants[i]);
+      if (rejoin_stamp_[id] > phase_start_round_[j]) continue;
+      err_acc += client_err_[id][j];
+      ++valid;
+    }
+    if (valid == 0) {
+      // Every participant's view of this phase is partial (all rejoined
+      // mid-phase): the check cannot be evaluated. Re-arm for next round
+      // without extending the period.
+      no_check_remaining_[j] = 1;
+      continue;
     }
     // The aggregate crosses the wire as float32 (matching the distributed
     // decomposition in core/distributed.h bit-for-bit).
-    const float mean_err = static_cast<float>(err_acc * inv_n);
+    const float mean_err =
+        static_cast<float>(err_acc * (1.0 / static_cast<double>(valid)));
     const double denom = std::fabs(static_cast<double>(slope_[j])) + 1e-8;
     const double s = std::fabs(static_cast<double>(mean_err)) / denom;
     if (s < options_.t_s) {
@@ -172,6 +207,7 @@ compress::SyncResult FedSuManager::synchronize(
       slope_[j] = g_new;  // "use the update of the last round" (§IV-B)
       no_check_period_[j] = options_.initial_no_check;
       no_check_remaining_[j] = options_.initial_no_check;
+      phase_start_round_[j] = rounds_seen_;
       for (auto& err : client_err_) err[j] = 0.0f;
       ++diag_.promotions;
       emit(SpecEvent{ctx.round, j, /*start=*/true});
@@ -218,8 +254,10 @@ std::size_t FedSuManager::join_state_bytes() const {
 
 std::size_t FedSuManager::state_bytes() const {
   // Extra resident memory FedSU adds on a device. Excluded: `global_` (the
-  // client's own model copy, present with or without FedSU) and
-  // `linear_rounds_` (bench instrumentation only).
+  // client's own model copy, present with or without FedSU),
+  // `linear_rounds_` (bench instrumentation only), and the churn
+  // reconciliation stamps (server-side bookkeeping, not device-resident) —
+  // keeping the Table II accounting identical with the fault layer off.
   std::size_t bytes = osc_.state_bytes() +
                       predictable_.size() * sizeof(std::uint8_t) +
                       slope_.size() * sizeof(float) +
@@ -231,7 +269,9 @@ std::size_t FedSuManager::state_bytes() const {
 }
 
 namespace {
-constexpr std::uint32_t kFedSuSnapshotMagic = 0xFED50001;
+// 0xFED50002 added the churn-reconciliation bookkeeping (phase start
+// rounds + rejoin stamps); older snapshots are not readable.
+constexpr std::uint32_t kFedSuSnapshotMagic = 0xFED50002;
 }  // namespace
 
 std::vector<std::uint8_t> FedSuManager::snapshot() const {
@@ -247,6 +287,8 @@ std::vector<std::uint8_t> FedSuManager::snapshot() const {
   writer.write_vector(no_check_period_);
   writer.write_vector(no_check_remaining_);
   writer.write_vector(linear_rounds_);
+  writer.write_vector(phase_start_round_);
+  writer.write_vector(rejoin_stamp_);
   writer.write_u64(client_err_.size());
   for (const auto& err : client_err_) writer.write_vector(err);
   return writer.take();
@@ -265,6 +307,8 @@ void FedSuManager::restore(const std::vector<std::uint8_t>& bytes) {
   no_check_period_ = reader.read_vector<std::int32_t>();
   no_check_remaining_ = reader.read_vector<std::int32_t>();
   linear_rounds_ = reader.read_vector<std::int32_t>();
+  phase_start_round_ = reader.read_vector<std::int32_t>();
+  rejoin_stamp_ = reader.read_vector<std::int32_t>();
   const std::uint64_t clients = reader.read_u64();
   client_err_.clear();
   for (std::uint64_t i = 0; i < clients; ++i) {
@@ -274,6 +318,8 @@ void FedSuManager::restore(const std::vector<std::uint8_t>& bytes) {
   if (predictable_.size() != p || slope_.size() != p ||
       no_check_period_.size() != p || no_check_remaining_.size() != p ||
       linear_rounds_.size() != p || osc_.size() != p ||
+      phase_start_round_.size() != p ||
+      rejoin_stamp_.size() != static_cast<std::size_t>(num_clients_) ||
       client_err_.size() != static_cast<std::size_t>(num_clients_)) {
     throw std::runtime_error("FedSuManager: inconsistent snapshot");
   }

@@ -61,6 +61,14 @@ class FedSuManager : public compress::SyncProtocol {
 
   void on_client_join(int client_id) override;
 
+  // Crash/rejoin reconciliation (DESIGN.md §10): wipes the client's error
+  // accumulator and stamps it so speculation phases that started while it
+  // was away never read its partial sums — Eq. 3 sums from the phase start,
+  // which an absent client did not observe. The rejoiner re-downloads
+  // mask + periods + slopes (join_state_bytes()), so it also never applies
+  // a speculative update from a stale slope.
+  std::size_t on_client_rejoin(int client_id) override;
+
   compress::SyncResult synchronize(
       const compress::RoundContext& ctx,
       const std::vector<std::span<const float>>& client_states) override;
@@ -116,6 +124,13 @@ class FedSuManager : public compress::SyncProtocol {
   std::vector<std::int32_t> no_check_remaining_;
   // client_err_[client_id][j]: accumulated local prediction error.
   std::vector<std::vector<float>> client_err_;
+  // Round (rounds_seen_ clock) when parameter j's current speculation phase
+  // started; paired with rejoin_stamp_ to decide, per (client, parameter),
+  // whether the client observed the whole phase (see pass 2).
+  std::vector<std::int32_t> phase_start_round_;
+  // First round from which client i's error accumulation is complete again
+  // (0 = always was; bumped by on_client_rejoin).
+  std::vector<std::int32_t> rejoin_stamp_;
   std::vector<std::int32_t> linear_rounds_;
   RoundDiagnostics diag_;
   int rounds_seen_ = 0;

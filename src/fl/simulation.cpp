@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "compress/wire.h"
 #include "net/round_timeline.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
@@ -13,6 +14,29 @@
 #include "util/stopwatch.h"
 
 namespace fedsu::fl {
+
+namespace {
+
+// Flushes one round's fault tallies into the metrics registry (no-op with
+// metrics off). faults.crashes counts onsets and is recorded separately,
+// where the round summary is in scope.
+void add_fault_counters(const RoundRecord::FaultCounters& counters,
+                        int uploads_lost) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("faults.resyncs").add(static_cast<std::uint64_t>(counters.resyncs));
+  reg.counter("faults.retries").add(static_cast<std::uint64_t>(counters.retries));
+  reg.counter("faults.stragglers")
+      .add(static_cast<std::uint64_t>(counters.stragglers));
+  reg.counter("faults.corrupt").add(static_cast<std::uint64_t>(counters.corrupt));
+  reg.counter("faults.lost_uploads")
+      .add(static_cast<std::uint64_t>(uploads_lost));
+  reg.counter("faults.deadline_missed")
+      .add(static_cast<std::uint64_t>(counters.deadline_missed));
+  if (!counters.quorum_met) reg.counter("faults.quorum_stalls").add(1);
+}
+
+}  // namespace
 
 Simulation::Simulation(SimulationOptions options,
                        std::unique_ptr<compress::SyncProtocol> protocol)
@@ -32,6 +56,19 @@ Simulation::Simulation(SimulationOptions options,
       options_.participation_fraction > 1.0) {
     throw std::invalid_argument("Simulation: participation fraction out of (0,1]");
   }
+
+  // Fold the legacy flat upload-loss knob into the fault plan so there is a
+  // single failure mechanism. The fault stream is salted with the
+  // simulation seed: two runs differing only in `seed` see different fault
+  // realizations (matching the historical loss behaviour), while fixing
+  // both seeds pins the schedule for controlled comparisons.
+  FaultOptions fault_options = options_.faults;
+  if (fault_options.upload_loss_probability == 0.0 &&
+      options_.upload_loss_probability > 0.0) {
+    fault_options.upload_loss_probability = options_.upload_loss_probability;
+  }
+  fault_options.seed ^= options_.seed;
+  faults_ = FaultPlan(fault_options);
 
   // Partition the training data across clients (Dirichlet label skew).
   data::PartitionOptions part;
@@ -65,17 +102,39 @@ std::vector<int> Simulation::select_participants(int round) {
   // finishes earliest. Finish times are estimated with the previous round's
   // mean payload (payload differences across clients within a protocol are
   // second-order; compute heterogeneity dominates the ordering).
+  const bool faulty = faults_.enabled();
   std::vector<int> active_ids;
   for (std::size_t i = 0; i < clients_.size(); ++i) {
-    if (active_[i]) active_ids.push_back(static_cast<int>(i));
+    if (!active_[i]) continue;
+    if (faulty && faults_.is_absent(static_cast<int>(i))) continue;
+    active_ids.push_back(static_cast<int>(i));
   }
   if (active_ids.empty()) {
+    // With churn this is a legitimate (if bleak) state — every client is
+    // down and the round stalls; without it, it is caller error.
+    if (faulty) {
+      select_target_ = 0;
+      return {};
+    }
     throw std::logic_error("Simulation: no active clients");
   }
-  const std::size_t take = std::max<std::size_t>(
+  const std::size_t target = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(options_.participation_fraction *
                        static_cast<double>(active_ids.size()))));
+  select_target_ = target;
+  std::size_t take = target;
+  if (faulty && faults_.options().over_select_fraction > 0.0) {
+    // Over-selection: the server starts extra clients beyond the
+    // aggregation target so lost/late uploads can be backfilled.
+    take = std::min(
+        active_ids.size(),
+        std::max(target,
+                 static_cast<std::size_t>(std::ceil(
+                     (options_.participation_fraction +
+                      faults_.options().over_select_fraction) *
+                     static_cast<double>(active_ids.size())))));
+  }
   std::vector<int> chosen;
   chosen.reserve(take);
   if (options_.participation == SimulationOptions::Participation::kUniform) {
@@ -91,10 +150,21 @@ std::vector<int> Simulation::select_participants(int round) {
     std::vector<std::pair<double, int>> finish;
     finish.reserve(active_ids.size());
     for (int id : active_ids) {
-      finish.emplace_back(
-          network_.client_round_time(id, round, flops, est_bytes, est_bytes,
-                                     static_cast<int>(active_ids.size())),
-          id);
+      double t;
+      if (faulty) {
+        // Straggler multipliers feed the estimate, so the earliest cut
+        // reshuffles when a fast client has a slow round. With unit
+        // factors this decomposition equals client_round_time exactly.
+        const ClientFault& f = faults_.fault(id);
+        t = network_.compute_time(id, round, flops) * f.compute_factor +
+            network_.comm_time(id, est_bytes, est_bytes,
+                               static_cast<int>(active_ids.size())) *
+                f.comm_factor;
+      } else {
+        t = network_.client_round_time(id, round, flops, est_bytes, est_bytes,
+                                       static_cast<int>(active_ids.size()));
+      }
+      finish.emplace_back(t, id);
     }
     std::sort(finish.begin(), finish.end());
     for (std::size_t i = 0; i < take && i < finish.size(); ++i) {
@@ -103,6 +173,27 @@ std::vector<int> Simulation::select_participants(int round) {
   }
   std::sort(chosen.begin(), chosen.end());
   return chosen;
+}
+
+RoundRecord Simulation::stalled_round(int round, double round_time,
+                                      RoundRecord::FaultCounters counters) {
+  elapsed_time_s_ += round_time;
+  ++round_;
+  RoundRecord record;
+  record.round = round;
+  record.uploads_lost = counters.selected - counters.corrupt -
+                        counters.deadline_missed - counters.unused;
+  record.round_time_s = round_time;
+  record.elapsed_time_s = elapsed_time_s_;
+  record.num_participants = 0;
+  counters.quorum_met = false;
+  record.faults = counters;
+  add_fault_counters(counters, record.uploads_lost);
+  if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
+    record.test_accuracy = evaluate();
+  }
+  if (round_hook_) round_hook_(record);
+  return record;
 }
 
 RoundRecord Simulation::step() {
@@ -115,6 +206,35 @@ RoundRecord Simulation::step() {
   util::Stopwatch wall_sw;
   RoundRecord::WallPhases wall;
 
+  const bool faulty = faults_.enabled();
+  RoundRecord::FaultCounters fc;
+  std::size_t resync_bytes_total = 0;
+  std::size_t resync_bytes_each = 0;
+  if (faulty) {
+    faults_.begin_round(round, static_cast<int>(clients_.size()));
+    const FaultPlan::RoundSummary& summary = faults_.round_summary();
+    fc.crashed = summary.absent;
+    if (obs::metrics_enabled() && summary.onsets > 0) {
+      obs::MetricsRegistry::global()
+          .counter("faults.crashes")
+          .add(static_cast<std::uint64_t>(summary.onsets));
+    }
+    // A client back from a crash is stale: force a full re-sync (model +
+    // protocol speculation state) before it may participate again, so it
+    // never speculates from a stale slope or contributes a stale error
+    // accumulator. The download is charged to this round.
+    resync_bytes_each =
+        global_.size() * sizeof(float) + protocol_->join_state_bytes();
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (!active_[i]) continue;
+      if (!faults_.fault(static_cast<int>(i)).rejoined) continue;
+      ++fc.rejoined;
+      ++fc.resyncs;
+      resync_bytes_total += global_.size() * sizeof(float) +
+                            protocol_->on_client_rejoin(static_cast<int>(i));
+    }
+  }
+
   std::vector<int> participants;
   {
     OBS_SPAN("sim.select");
@@ -122,69 +242,139 @@ RoundRecord Simulation::step() {
   }
   if (wall_on) wall.select_s = wall_sw.lap();
 
-  // Failure injection: drop uploads after training (compute is spent, the
-  // update never reaches the server). Deterministic per (seed, round).
+  const double flops = model_flops_per_round();
+
+  // Fault pipeline: resolve which uploads the server aggregates. Delivery
+  // order uses estimated times (actual payload bytes exist only after
+  // synchronization, but the cut must be made before it); the simulated
+  // clock below charges actual bytes.
   int uploads_lost = 0;
-  if (options_.upload_loss_probability > 0.0) {
-    util::Rng loss_rng(options_.seed ^ 0xfa11 ^
-                       (0x9e3779b97f4a7c15ULL * (round + 1)));
-    std::vector<int> survivors;
+  std::vector<int> kept = participants;  // the aggregation set
+  std::vector<int> corrupt_ids;          // delivered, doomed to fail the CRC
+  if (faulty) {
+    fc.selected = static_cast<int>(participants.size());
+    const FaultOptions& fo = faults_.options();
+    const auto est_bytes = static_cast<std::size_t>(last_mean_payload_bytes_);
+    const int concurrent = static_cast<int>(participants.size());
+    double last_giveup_s = 0.0;  // when the slowest selected client stopped
+    std::vector<std::pair<double, int>> arrivals;
+    arrivals.reserve(participants.size());
     for (int id : participants) {
-      if (loss_rng.bernoulli(options_.upload_loss_probability)) {
+      const ClientFault& f = faults_.fault(id);
+      if (f.straggler) ++fc.stragglers;
+      fc.retries += f.upload_attempts - 1;
+      // Retries re-send the payload and wait out the backoff in between —
+      // all on the simulated clock.
+      const double est =
+          network_.compute_time(id, round, flops) * f.compute_factor +
+          static_cast<double>(f.upload_attempts) *
+              network_.upload_time(id, est_bytes, concurrent) * f.comm_factor +
+          static_cast<double>(f.upload_attempts - 1) * fo.retry_backoff_s;
+      last_giveup_s = std::max(last_giveup_s, est);
+      if (!f.delivered) {
         ++uploads_lost;
+        continue;
+      }
+      if (fo.deadline_s > 0.0 && est > fo.deadline_s) {
+        ++fc.deadline_missed;
+        continue;
+      }
+      arrivals.emplace_back(est, id);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    // The server consumes uploads in (estimated) arrival order until the
+    // aggregation target is met. Corrupt payloads are detected on receipt
+    // (CRC, below) and never count toward the target — the next arrival
+    // backfills. Whatever lands after the target is met goes unused.
+    kept.clear();
+    for (const auto& [est, id] : arrivals) {
+      (void)est;
+      if (kept.size() >= select_target_) {
+        ++fc.unused;
+        continue;
+      }
+      if (faults_.fault(id).corrupt) {
+        corrupt_ids.push_back(id);
       } else {
-        survivors.push_back(id);
+        kept.push_back(id);
       }
     }
-    if (survivors.empty()) {
-      // Whole round lost: charge the time, keep the state.
-      const double flops = model_flops_per_round();
-      double round_time = 0.0;
-      for (int id : participants) {
-        round_time = std::max(
-            round_time,
-            network_.client_round_time(id, round, flops, 0, 0,
-                                       static_cast<int>(participants.size())));
-      }
-      elapsed_time_s_ += round_time;
-      ++round_;
-      RoundRecord record;
-      record.round = round;
-      record.uploads_lost = uploads_lost;
-      record.round_time_s = round_time;
-      record.elapsed_time_s = elapsed_time_s_;
-      record.num_participants = 0;
-      if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
-        record.test_accuracy = evaluate();
-      }
-      if (round_hook_) round_hook_(record);
+    if (kept.size() < static_cast<std::size_t>(fo.min_quorum)) {
+      // Below quorum: the round stalls. Time still passes — until the
+      // server deadline if one is set, else until the slowest selected
+      // client finished or gave up; a fully-crashed population costs one
+      // latency heartbeat.
+      double stall_time =
+          fo.deadline_s > 0.0 ? fo.deadline_s : last_giveup_s;
+      if (stall_time <= 0.0) stall_time = options_.network.base_latency_s;
+      fc.corrupt += static_cast<int>(corrupt_ids.size());
+      fc.unused += static_cast<int>(kept.size());
+      RoundRecord record = stalled_round(round, stall_time, fc);
+      record.bytes_down = resync_bytes_total;
       return record;
     }
-    participants = std::move(survivors);
+    std::sort(kept.begin(), kept.end());  // protocol contract: ascending ids
+    std::sort(corrupt_ids.begin(), corrupt_ids.end());
   }
 
-  // Local training on each participant.
+  // Local training: the aggregation set plus the corrupt deliveries (their
+  // compute is spent and their real payload feeds the CRC check).
   LocalTrainOptions local = options_.local;
   if (options_.lr_schedule) {
     local.learning_rate = options_.lr_schedule->lr(round);
   }
-  std::vector<std::vector<float>> states(participants.size());
-  std::vector<double> losses(participants.size(), 0.0);
+  std::vector<int> train_ids = kept;
+  if (!corrupt_ids.empty()) {
+    train_ids.insert(train_ids.end(), corrupt_ids.begin(), corrupt_ids.end());
+    std::sort(train_ids.begin(), train_ids.end());
+  }
+  std::vector<std::vector<float>> states(train_ids.size());
+  std::vector<double> losses(train_ids.size(), 0.0);
   {
     OBS_SPAN("sim.train");
-    train_participants(participants, local, states, losses);
+    train_participants(train_ids, local, states, losses);
   }
   if (wall_on) wall.train_s = wall_sw.lap();
-  double loss_sum = 0.0;
-  for (double l : losses) loss_sum += l;
+
+  // Corruption on receipt: encode the trained payload, flip one
+  // deterministic bit "in transit", and verify the CRC rejects it (it
+  // always does for a single-bit flip). The update is discarded.
+  for (int id : corrupt_ids) {
+    const std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(train_ids.begin(), train_ids.end(), id) -
+        train_ids.begin());
+    auto payload = compress::wire::encode_dense(states[pos]);
+    if (payload.empty()) payload.push_back(0);
+    const std::uint32_t sent_crc = compress::wire::crc32(payload);
+    util::Rng flip(faults_.options().seed ^
+                   (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(round) + 1)) ^
+                   (0x94d049bb133111ebULL * (static_cast<std::uint64_t>(id) + 1)));
+    const std::size_t bit =
+        static_cast<std::size_t>(flip.uniform_index(payload.size() * 8));
+    payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    if (compress::wire::crc32(payload) == sent_crc) {
+      throw std::logic_error("Simulation: CRC failed to detect a bit flip");
+    }
+    ++fc.corrupt;
+  }
 
   // Synchronization through the protocol under test.
   compress::RoundContext ctx;
   ctx.round = round;
-  ctx.participants = participants;
+  ctx.participants = kept;
   std::vector<std::span<const float>> views;
-  views.reserve(states.size());
-  for (const auto& s : states) views.emplace_back(s);
+  views.reserve(kept.size());
+  double loss_sum = 0.0;
+  {
+    std::size_t ti = 0;
+    for (int id : kept) {
+      while (train_ids[ti] != id) ++ti;  // both ascending; kept ⊆ train_ids
+      views.emplace_back(states[ti]);
+      loss_sum += losses[ti];
+      ++ti;
+    }
+  }
   compress::SyncResult sync = [&] {
     OBS_SPAN("sim.sync");
     return protocol_->synchronize(ctx, views);
@@ -196,10 +386,9 @@ RoundRecord Simulation::step() {
   global_ = std::move(sync.new_global);
 
   // Simulated time: the round ends when the slowest used client finishes.
-  const double flops = model_flops_per_round();
   double round_time = 0.0;
   std::size_t bytes_up_total = 0, bytes_down_total = 0;
-  for (std::size_t i = 0; i < participants.size(); ++i) {
+  for (std::size_t i = 0; i < kept.size(); ++i) {
     bytes_up_total += sync.bytes_up[i];
     bytes_down_total += sync.bytes_down[i];
   }
@@ -208,49 +397,87 @@ RoundRecord Simulation::step() {
   if (options_.timing == TimingModel::kFlowLevel) {
     net::RoundTimelineInput timeline;
     timeline.server_bps = options_.network.server_bandwidth_bps;
-    for (std::size_t i = 0; i < participants.size(); ++i) {
-      timeline.compute_done_s.push_back(
-          network_.compute_time(participants[i], round, flops));
-      timeline.bytes_up.push_back(static_cast<double>(sync.bytes_up[i]));
-      timeline.bytes_down.push_back(static_cast<double>(sync.bytes_down[i]));
-      timeline.client_rate_bps.push_back(
-          network_.client_bandwidth_bps(participants[i]));
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const int id = kept[i];
+      double compute_done = network_.compute_time(id, round, flops);
+      double up_bytes = static_cast<double>(sync.bytes_up[i]);
+      double down_bytes = static_cast<double>(sync.bytes_down[i]);
+      double rate = network_.client_bandwidth_bps(id);
+      if (faulty) {
+        const ClientFault& f = faults_.fault(id);
+        // Retries re-cross the link; backoffs delay the flow start. Comm
+        // slowdown maps onto a proportionally thinner client link.
+        compute_done = compute_done * f.compute_factor +
+                       static_cast<double>(f.upload_attempts - 1) *
+                           faults_.options().retry_backoff_s;
+        up_bytes *= static_cast<double>(f.upload_attempts);
+        rate /= f.comm_factor;
+        if (f.rejoined) down_bytes += static_cast<double>(resync_bytes_each);
+      }
+      timeline.compute_done_s.push_back(compute_done);
+      timeline.bytes_up.push_back(up_bytes);
+      timeline.bytes_down.push_back(down_bytes);
+      timeline.client_rate_bps.push_back(rate);
     }
     round_time = net::simulate_round(timeline).round_end_s;
   } else {
-    for (std::size_t i = 0; i < participants.size(); ++i) {
-      const double t = network_.client_round_time(
-          participants[i], round, flops, sync.bytes_up[i], sync.bytes_down[i],
-          static_cast<int>(participants.size()));
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const int id = kept[i];
+      double t;
+      if (faulty) {
+        const ClientFault& f = faults_.fault(id);
+        const std::size_t down_bytes =
+            sync.bytes_down[i] + (f.rejoined ? resync_bytes_each : 0);
+        t = network_.compute_time(id, round, flops) * f.compute_factor +
+            static_cast<double>(f.upload_attempts) *
+                network_.upload_time(id, sync.bytes_up[i],
+                                     static_cast<int>(kept.size())) *
+                f.comm_factor +
+            static_cast<double>(f.upload_attempts - 1) *
+                faults_.options().retry_backoff_s +
+            network_.download_time(id, down_bytes,
+                                   static_cast<int>(kept.size())) *
+                f.comm_factor;
+      } else {
+        t = network_.client_round_time(id, round, flops, sync.bytes_up[i],
+                                       sync.bytes_down[i],
+                                       static_cast<int>(kept.size()));
+      }
       round_time = std::max(round_time, t);
     }
+  }
+  if (faulty && fc.deadline_missed > 0 && faults_.options().deadline_s > 0.0) {
+    // The server waited out its deadline for the uploads that missed it.
+    round_time = std::max(round_time, faults_.options().deadline_s);
   }
   }  // OBS_SPAN sim.timing
   if (wall_on) wall.timing_s = wall_sw.lap();
   elapsed_time_s_ += round_time;
   last_mean_payload_bytes_ =
-      participants.empty()
-          ? last_mean_payload_bytes_
-          : static_cast<double>(bytes_up_total + bytes_down_total) /
-                (2.0 * static_cast<double>(participants.size()));
+      kept.empty() ? last_mean_payload_bytes_
+                   : static_cast<double>(bytes_up_total + bytes_down_total) /
+                         (2.0 * static_cast<double>(kept.size()));
   ++round_;
 
   RoundRecord record;
   record.round = round;
   record.round_time_s = round_time;
   record.elapsed_time_s = elapsed_time_s_;
-  record.train_loss = participants.empty()
-                          ? 0.0
-                          : loss_sum / static_cast<double>(participants.size());
+  record.train_loss =
+      kept.empty() ? 0.0 : loss_sum / static_cast<double>(kept.size());
   record.sparsification_ratio = protocol_->last_sparsification_ratio();
   record.bytes_up = bytes_up_total;
-  record.bytes_down = bytes_down_total;
-  record.num_participants = static_cast<int>(participants.size());
+  record.bytes_down = bytes_down_total + resync_bytes_total;
+  record.num_participants = static_cast<int>(kept.size());
   record.uploads_lost = uploads_lost;
   const compress::SyncProtocol::Telemetry tele =
       protocol_->last_round_telemetry();
   record.speculated_fraction = tele.speculated_fraction;
   record.fallback_syncs = static_cast<int>(tele.fallback_syncs);
+  if (faulty) {
+    record.faults = fc;
+    add_fault_counters(fc, uploads_lost);
+  }
   if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
     OBS_SPAN("sim.eval");
     record.test_accuracy = evaluate();

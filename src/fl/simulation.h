@@ -16,6 +16,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
+#include "fl/faults.h"
 #include "net/network_model.h"
 #include "nn/schedule.h"
 #include "nn/zoo.h"
@@ -49,10 +50,18 @@ struct SimulationOptions {
   Participation participation = Participation::kEarliest;
   net::NetworkOptions network;
   TimingModel timing = TimingModel::kCoarse;
-  // Failure injection: probability that a selected client's upload is lost
-  // mid-round (the client trained, but the server never receives it and
-  // aggregates without it). 0 disables. If every upload of a round is lost
-  // the round is wasted: time passes, the global state stays put.
+  // Deterministic fault injection & churn (fl/faults, DESIGN.md §10,
+  // docs/FAULT_MODEL.md). All rates zero (the default) keeps the fault
+  // layer entirely off the round path: results are bitwise identical to a
+  // build without it.
+  FaultOptions faults;
+  // Legacy flat upload-loss knob, folded into `faults` at construction so
+  // there is a single failure mechanism: when faults.upload_loss_probability
+  // is 0 this value is used as the per-attempt loss probability (with
+  // faults.max_retries retries, default 0 = the historical no-retry
+  // semantics). A round whose every upload is lost stalls: time passes, the
+  // global state stays put, and the RoundRecord is self-consistent
+  // (num_participants == 0, speculated_fraction == 0).
   double upload_loss_probability = 0.0;
   int eval_every = 1;       // test-set evaluation period, in rounds
   int eval_batch = 64;
@@ -80,6 +89,25 @@ struct RoundRecord {
   // last_round_telemetry): zero for non-speculative schemes.
   double speculated_fraction = 0.0;
   int fallback_syncs = 0;
+
+  // Per-round fault tallies, engaged only when fault injection is on (the
+  // optional stays empty otherwise, keeping zero-rate records bit-identical
+  // to pre-fault-layer output). Invariant when present:
+  //   selected == num_participants + uploads_lost + corrupt
+  //              + deadline_missed + unused.
+  struct FaultCounters {
+    int selected = 0;         // clients the server started this round
+    int crashed = 0;          // population currently absent (crashed)
+    int rejoined = 0;         // clients back from an absence this round
+    int resyncs = 0;          // forced protocol state re-syncs on rejoin
+    int stragglers = 0;       // slowed-down clients among the selected
+    int retries = 0;          // extra upload attempts among the selected
+    int corrupt = 0;          // uploads discarded on CRC mismatch
+    int deadline_missed = 0;  // uploads dropped for landing past deadline
+    int unused = 0;           // delivered but beyond the aggregation target
+    bool quorum_met = true;   // false: round stalled below min_quorum
+  };
+  std::optional<FaultCounters> faults;
 
   // Host wall-clock time spent in each phase of step(), measured only when
   // obs::metrics_enabled() (all zero otherwise). These are real durations on
@@ -115,6 +143,7 @@ class Simulation {
   const std::vector<float>& global_state() const { return global_; }
   compress::SyncProtocol& protocol() { return *protocol_; }
   const SimulationOptions& options() const { return options_; }
+  const FaultPlan& fault_plan() const { return faults_; }
   int rounds_completed() const { return round_; }
   double elapsed_time_s() const { return elapsed_time_s_; }
   std::size_t model_state_size() const { return global_.size(); }
@@ -140,6 +169,10 @@ class Simulation {
 
  private:
   std::vector<int> select_participants(int round);
+  // Builds the consistent record for a round that stalled (no aggregation:
+  // every upload lost, quorum missed, or every client crashed).
+  RoundRecord stalled_round(int round, double round_time,
+                            RoundRecord::FaultCounters counters);
   // Trains every participant (reading global_, filling states/losses by
   // participant position) — across the pool when it pays, else sequentially.
   void train_participants(const std::vector<int>& participants,
@@ -160,6 +193,9 @@ class Simulation {
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<std::unique_ptr<nn::Model>> replicas_;
   net::NetworkModel network_;
+  FaultPlan faults_;
+  // Aggregation target of the latest selection (before over-selection).
+  std::size_t select_target_ = 0;
   std::vector<float> global_;
   int round_ = 0;
   double elapsed_time_s_ = 0.0;

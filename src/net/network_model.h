@@ -40,6 +40,17 @@ class NetworkModel {
   double comm_time(int client, std::size_t bytes_up, std::size_t bytes_down,
                    int concurrent) const;
 
+  // One direction of comm_time (comm_time == upload_time + download_time,
+  // exactly). The fault layer needs the split so each upload retry can be
+  // charged individually and straggler bandwidth multipliers can scale
+  // transfers without touching compute (DESIGN.md §10).
+  double upload_time(int client, std::size_t bytes, int concurrent) const {
+    return comm_time(client, bytes, 0, concurrent);
+  }
+  double download_time(int client, std::size_t bytes, int concurrent) const {
+    return comm_time(client, 0, bytes, concurrent);
+  }
+
   // Total round finish time for one client.
   double client_round_time(int client, int round, double flops,
                            std::size_t bytes_up, std::size_t bytes_down,

@@ -38,7 +38,25 @@ std::string TelemetryWriter::to_json_line(const fl::RoundRecord& record,
   line += ", \"timing_s\": " + json_number(record.wall.timing_s);
   line += ", \"eval_s\": " + json_number(record.wall.eval_s);
   line += ", \"total_s\": " + json_number(record.wall.total_s);
-  line += "}}";
+  line += "}";
+  // Fault tallies ride along only when fault injection was active, so
+  // zero-rate runs keep the exact historical line format.
+  if (record.faults) {
+    const auto& fc = *record.faults;
+    line += ", \"faults\": {\"selected\": " + std::to_string(fc.selected);
+    line += ", \"crashed\": " + std::to_string(fc.crashed);
+    line += ", \"rejoined\": " + std::to_string(fc.rejoined);
+    line += ", \"resyncs\": " + std::to_string(fc.resyncs);
+    line += ", \"stragglers\": " + std::to_string(fc.stragglers);
+    line += ", \"retries\": " + std::to_string(fc.retries);
+    line += ", \"corrupt\": " + std::to_string(fc.corrupt);
+    line += ", \"deadline_missed\": " + std::to_string(fc.deadline_missed);
+    line += ", \"unused\": " + std::to_string(fc.unused);
+    line += std::string(", \"quorum_met\": ") +
+            (fc.quorum_met ? "true" : "false");
+    line += "}";
+  }
+  line += "}";
   return line;
 }
 

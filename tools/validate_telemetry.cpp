@@ -138,12 +138,40 @@ void validate_telemetry(const std::string& path, int expect_rounds) {
     check(rows == 1 || round == prev_round + 1,
           path + ": rounds not consecutive at row " + std::to_string(rows));
     prev_round = round;
-    check(record.at("bytes_up").as_number() > 0.0,
-          path + ": bytes_up not positive in round " + std::to_string(round));
+    const double participants = record.at("participants").as_number();
     const double spec = record.at("speculated_fraction").as_number();
+    if (participants > 0.0) {
+      check(record.at("bytes_up").as_number() > 0.0,
+            path + ": bytes_up not positive in round " + std::to_string(round));
+    } else {
+      // Stalled round (every upload lost / quorum missed / all crashed):
+      // nothing was aggregated, so nothing may claim to have speculated.
+      check(record.at("bytes_up").as_number() == 0.0,
+            path + ": stalled round " + std::to_string(round) +
+                " reports bytes_up");
+      check(spec == 0.0, path + ": stalled round " + std::to_string(round) +
+                             " reports speculated_fraction != 0");
+    }
     check(spec >= 0.0 && spec <= 1.0,
           path + ": speculated_fraction outside [0,1] in round " +
               std::to_string(round));
+    if (record.has("faults")) {
+      // Fault-injection bookkeeping must balance: every selected client is
+      // accounted for exactly once (aggregated, lost, corrupt, late, or
+      // delivered-but-unused).
+      const JsonValue& fc = record.at("faults");
+      const double accounted = participants +
+                               record.at("uploads_lost").as_number() +
+                               fc.at("corrupt").as_number() +
+                               fc.at("deadline_missed").as_number() +
+                               fc.at("unused").as_number();
+      check(fc.at("selected").as_number() == accounted,
+            path + ": fault tallies do not sum to selected in round " +
+                std::to_string(round));
+      check(fc.at("quorum_met").as_bool() == (participants > 0.0),
+            path + ": quorum_met inconsistent with participants in round " +
+                std::to_string(round));
+    }
     const JsonValue& wall = record.at("wall");
     const double phase_sum =
         wall.at("select_s").as_number() + wall.at("train_s").as_number() +
