@@ -9,8 +9,16 @@
 // tallies. Results land in BENCH_robustness.json (self-reparsed through
 // obs::json_parse as a schema check, same as bench_gemm).
 //
+// With --async the same ladder runs under buffered-async execution
+// (DESIGN.md §11): cells gain an "async-" prefix and the bench additionally
+// checks the cumulative dispatch reconciliation (dispatched == consumed +
+// lost + corrupt + deadline-missed + unused + in-flight at end) plus the
+// per-cycle staleness-histogram invariant.
+//
 // Usage: bench_robustness [--out BENCH_robustness.json] [--target 0.55]
-//                         [--smoke] [+ the shared workload flags]
+//                         [--smoke] [--async] [--buffer-k K]
+//                         [+ the shared workload flags]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -73,6 +81,16 @@ std::vector<Setting> settings(const FaultOptions& base) {
 struct FaultTotals {
   long long crashes = 0, rejoins = 0, resyncs = 0, stragglers = 0;
   long long retries = 0, lost = 0, corrupt = 0, stalls = 0;
+  long long selected = 0, deadline = 0, unused = 0;
+};
+
+// Aggregates folded from the per-cycle async objects of one cell.
+struct AsyncTotals {
+  long long consumed = 0;
+  long long final_inflight = 0;
+  int max_staleness = 0;
+  double staleness_sum = 0.0;
+  int cycles = 0;
 };
 
 }  // namespace
@@ -98,8 +116,18 @@ int main(int argc, char** argv) {
   const auto target = static_cast<float>(flags.get_double("target"));
   const std::vector<std::string> schemes = {"fedsu", "fedavg", "topk"};
 
-  fedsu::bench::print_header("Robustness: faults vs time-to-accuracy");
-  std::printf("%-12s %-8s %9s %9s %7s %6s %6s %6s %6s\n", "setting",
+  // --async switches the whole ladder to buffered-async execution
+  // (DESIGN.md §11): same fault settings, but the server aggregates the
+  // first K uploads instead of waiting out the barrier. Setting names gain
+  // an "async-" prefix so artifacts from both modes can accumulate
+  // side by side.
+  const bool async_mode = config.async_mode;
+
+  fedsu::bench::print_header(async_mode
+                                 ? "Robustness (buffered-async): faults vs "
+                                   "time-to-accuracy"
+                                 : "Robustness: faults vs time-to-accuracy");
+  std::printf("%-16s %-8s %9s %9s %7s %6s %6s %6s %6s\n", "setting",
               "scheme", "tta_s", "MB", "acc", "crash", "lost", "retry",
               "stall");
 
@@ -109,34 +137,88 @@ int main(int argc, char** argv) {
     for (const std::string& scheme : schemes) {
       BenchConfig cell_config = config;
       cell_config.faults = setting.faults;
+      const std::string cell_name =
+          async_mode ? "async-" + setting.name : setting.name;
       FaultTotals totals;
+      AsyncTotals async_totals;
       // run_scheme builds the simulation from cell_config, so the fault
-      // plan rides in via simulation_options(); tallies are folded from
-      // the per-round records afterwards.
+      // plan (and the async engine) rides in via simulation_options();
+      // tallies are folded from the per-round records afterwards.
       fedsu::bench::SchemeRun run =
           fedsu::bench::run_scheme(cell_config, scheme, target);
       for (const fedsu::fl::RoundRecord& r : run.records) {
         totals.lost += r.uploads_lost;
+        if (r.async) {
+          async_totals.consumed += r.async->consumed;
+          async_totals.final_inflight = r.async->inflight;
+          async_totals.max_staleness =
+              std::max(async_totals.max_staleness, r.async->max_staleness);
+          async_totals.staleness_sum +=
+              r.async->mean_staleness * r.async->consumed;
+          ++async_totals.cycles;
+          // Per-cycle self-consistency: the staleness histogram accounts
+          // for every aggregated upload.
+          long long hist_sum = 0;
+          for (int h : r.async->staleness_hist) hist_sum += h;
+          if (hist_sum != r.async->consumed ||
+              r.async->consumed != r.num_participants) {
+            std::fprintf(stderr,
+                         "FAIL: async stats inconsistent (%s/%s round %d)\n",
+                         cell_name.c_str(), scheme.c_str(), r.round);
+            return 1;
+          }
+        }
         if (!r.faults) continue;
+        totals.selected += r.faults->selected;
         totals.crashes += r.faults->crashed;
         totals.rejoins += r.faults->rejoined;
         totals.resyncs += r.faults->resyncs;
         totals.stragglers += r.faults->stragglers;
         totals.retries += r.faults->retries;
         totals.corrupt += r.faults->corrupt;
+        totals.deadline += r.faults->deadline_missed;
+        totals.unused += r.faults->unused;
         if (!r.faults->quorum_met) ++totals.stalls;
+      }
+      if (async_mode) {
+        // Every cycle of an async cell must carry the async object...
+        if (async_totals.cycles != static_cast<int>(run.records.size())) {
+          std::fprintf(stderr, "FAIL: async object missing (%s/%s)\n",
+                       cell_name.c_str(), scheme.c_str());
+          return 1;
+        }
+        // ...and with faults on, dispatches reconcile cumulatively: every
+        // dispatched upload was aggregated, lost, corrupted, past its
+        // deadline, or is still in flight when the run ends (the per-round
+        // barrier invariant has no meaning without a barrier).
+        const bool cell_faulty = !run.records.empty() &&
+                                 run.records.front().faults.has_value();
+        if (cell_faulty &&
+            totals.selected != async_totals.consumed + totals.lost +
+                                   totals.corrupt + totals.deadline +
+                                   totals.unused +
+                                   async_totals.final_inflight) {
+          std::fprintf(stderr,
+                       "FAIL: async dispatch reconciliation broke (%s/%s): "
+                       "%lld dispatched vs %lld accounted\n",
+                       cell_name.c_str(), scheme.c_str(), totals.selected,
+                       async_totals.consumed + totals.lost + totals.corrupt +
+                           totals.deadline + totals.unused +
+                           async_totals.final_inflight);
+          return 1;
+        }
       }
 
       const double tta =
           run.time_to_target_s ? *run.time_to_target_s : -1.0;
       const double mb = run.summary.total_gigabytes * 1024.0;
-      std::printf("%-12s %-8s %9.1f %9.2f %6.1f%% %6lld %6lld %6lld %6lld\n",
-                  setting.name.c_str(), scheme.c_str(), tta, mb,
+      std::printf("%-16s %-8s %9.1f %9.2f %6.1f%% %6lld %6lld %6lld %6lld\n",
+                  cell_name.c_str(), scheme.c_str(), tta, mb,
                   100.0 * run.summary.final_accuracy, totals.crashes,
                   totals.lost, totals.retries, totals.stalls);
 
       cells << (cell_count++ ? ",\n" : "\n") << "    {\"setting\": "
-            << fedsu::obs::json_quote(setting.name) << ", \"scheme\": "
+            << fedsu::obs::json_quote(cell_name) << ", \"scheme\": "
             << fedsu::obs::json_quote(scheme)
             << ", \"rounds\": " << run.summary.rounds
             << ", \"time_to_target_s\": "
@@ -163,7 +245,16 @@ int main(int argc, char** argv) {
             << ", \"retries\": " << totals.retries
             << ", \"uploads_lost\": " << totals.lost
             << ", \"corrupt\": " << totals.corrupt
-            << ", \"quorum_stalls\": " << totals.stalls << "}";
+            << ", \"quorum_stalls\": " << totals.stalls
+            << ", \"async\": " << (async_mode ? "true" : "false")
+            << ", \"max_staleness\": " << async_totals.max_staleness
+            << ", \"mean_staleness\": "
+            << fedsu::obs::json_number(
+                   async_totals.consumed > 0
+                       ? async_totals.staleness_sum /
+                             static_cast<double>(async_totals.consumed)
+                       : 0.0)
+            << "}";
     }
   }
 
@@ -190,6 +281,8 @@ int main(int argc, char** argv) {
       cell.at("total_gigabytes").as_number();
       cell.at("final_accuracy").as_number();
       cell.at("quorum_stalls").as_number();
+      cell.at("async").as_bool();
+      cell.at("max_staleness").as_number();
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "FAIL: emitted JSON failed schema check: %s\n",

@@ -64,6 +64,12 @@ struct BenchConfig {
   // default: the fault layer stays off and results are bitwise identical to
   // a faultless build.
   fl::FaultOptions faults;
+  // Buffered-async execution (DESIGN.md §11). Off by default: the round
+  // loop stays the synchronous barrier. buffer_k = 0 means half the cohort;
+  // buffer_k >= the cohort with zero fault rates is the synchronous path.
+  bool async_mode = false;
+  int buffer_k = 0;
+  double staleness_alpha = 0.5;
 };
 
 inline util::Flags make_flags(const BenchConfig& defaults) {
@@ -124,7 +130,13 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
       .add_int("faults-seed", static_cast<long long>(defaults.faults.seed),
                "fault schedule seed (mixed with --seed)")
       .add_string("faults-trace", defaults.faults.trace_csv,
-                  "CSV fault trace (round,client,event,value)");
+                  "CSV fault trace (round,client,event,value)")
+      .add_bool("async", defaults.async_mode,
+                "buffered-async rounds: aggregate the first K uploads")
+      .add_int("buffer-k", defaults.buffer_k,
+               "async aggregation buffer size K (0 = half the cohort)")
+      .add_double("staleness-alpha", defaults.staleness_alpha,
+                  "async staleness discount exponent in 1/(1+s)^alpha");
   return flags;
 }
 
@@ -202,6 +214,9 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
       static_cast<int>(flags.get_int("faults-min-quorum"));
   config.faults.seed = static_cast<std::uint64_t>(flags.get_int("faults-seed"));
   config.faults.trace_csv = flags.get_string("faults-trace");
+  config.async_mode = flags.get_bool("async");
+  config.buffer_k = static_cast<int>(flags.get_int("buffer-k"));
+  config.staleness_alpha = flags.get_double("staleness-alpha");
   obs::set_level(resolve_obs_level(config));
   return config;
 }
@@ -237,6 +252,9 @@ inline fl::SimulationOptions simulation_options(const BenchConfig& config) {
   options.seed = config.seed;
   options.threads = config.threads;
   options.faults = config.faults;
+  options.async.enabled = config.async_mode;
+  options.async.buffer_k = config.buffer_k;
+  options.async.staleness_alpha = config.staleness_alpha;
   return options;
 }
 

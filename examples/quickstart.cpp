@@ -33,7 +33,14 @@ int main(int argc, char** argv) {
                   "observability level: auto | off | metrics | trace")
       .add_string("metrics-out", "", "write the metrics registry as JSON")
       .add_string("trace-out", "", "write a chrome://tracing timeline JSON")
-      .add_string("telemetry-out", "", "write per-round telemetry JSONL");
+      .add_string("telemetry-out", "", "write per-round telemetry JSONL")
+      .add_bool("async", false,
+                "buffered-async rounds: aggregate the first K arrivals, "
+                "weight stale updates by 1/(1+s)^alpha (DESIGN.md §11)")
+      .add_int("buffer-k", 0,
+               "async server buffer size K (0 = half the cohort)")
+      .add_double("staleness-alpha", 0.5,
+                  "async staleness discount exponent (0 = unweighted)");
   if (!flags.parse(argc, argv)) return 0;
   util::ThreadPool::set_global_threads(
       static_cast<int>(flags.get_int("threads")));
@@ -63,6 +70,9 @@ int main(int argc, char** argv) {
   options.local.learning_rate = 0.03f;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.threads = static_cast<int>(flags.get_int("threads"));
+  options.async.enabled = flags.get_bool("async");
+  options.async.buffer_k = static_cast<int>(flags.get_int("buffer-k"));
+  options.async.staleness_alpha = flags.get_double("staleness-alpha");
 
   // 2. Pick the synchronization protocol — FedSU with default thresholds.
   fl::ProtocolConfig protocol;

@@ -23,6 +23,15 @@ struct RoundContext {
   // (the 70 % earliest under the paper's participation model). Parallel to
   // the `client_states` argument of synchronize().
   std::vector<int> participants;
+  // Buffered-async execution (DESIGN.md §11): the model version (protocol
+  // aggregation count) each participant's update was trained against,
+  // parallel to `participants`. Empty — the default, and what every
+  // synchronous caller passes — means every participant trained on the
+  // current global state; protocols must treat that case exactly as before
+  // the field existed. When non-empty, protocols with per-client cross-round
+  // state (e.g. FedSU's error accumulators) can fence out contributions
+  // whose dispatch version predates the state's validity window.
+  std::vector<int> dispatch_rounds;
 };
 
 struct SyncResult {

@@ -87,6 +87,14 @@ compress::SyncResult FedSuManager::synchronize(
       throw std::out_of_range("FedSuManager: participant id out of range");
     }
   }
+  // Buffered-async callers stamp each participant with the model version it
+  // was dispatched at (DESIGN.md §11). The synchronous path leaves the
+  // vector empty, and every versioned code path below degenerates to the
+  // historical behaviour bit-for-bit in that case.
+  const bool versioned = !ctx.dispatch_rounds.empty();
+  if (versioned && ctx.dispatch_rounds.size() != n) {
+    throw std::invalid_argument("FedSuManager: dispatch_rounds size mismatch");
+  }
 
   std::vector<float> new_global = global_;
   const double inv_n = 1.0 / static_cast<double>(n);
@@ -117,8 +125,16 @@ compress::SyncResult FedSuManager::synchronize(
     new_global[j] = x_spec;
     ++linear_rounds_[j];
     // Each participating client logs its local prediction error
-    // e = (local update) - slope = x_local - x_spec.
+    // e = (local update) - slope = x_local - x_spec. A stale participant
+    // whose model version predates this parameter's speculation phase never
+    // observed the phase's trajectory, so its error term is meaningless for
+    // Eq. 3 — the version fence below keeps it out of the accumulator, the
+    // same invariant the rejoin stamps enforce for crash churn, keyed by
+    // dispatch version instead of rejoin round.
     for (std::size_t i = 0; i < n; ++i) {
+      if (versioned && ctx.dispatch_rounds[i] < phase_start_round_[j]) {
+        continue;
+      }
       client_err_[static_cast<std::size_t>(
           ctx.participants[i])][j] += client_states[i][j] - x_spec;
     }

@@ -69,6 +69,13 @@ class FedSuManager : public compress::SyncProtocol {
   // a speculative update from a stale slope.
   std::size_t on_client_rejoin(int client_id) override;
 
+  // Accepts the optional RoundContext::dispatch_rounds version stamps from
+  // buffered-async callers (DESIGN.md §11): a participant whose dispatch
+  // version predates a parameter's speculation-phase start is fenced out of
+  // that parameter's error accumulation — the async analogue of the rejoin
+  // stamp, keyed by model version so stale feedback can't corrupt Eq. 3
+  // corrections. An empty dispatch_rounds (every synchronous caller) keeps
+  // the historical behaviour bit-for-bit.
   compress::SyncResult synchronize(
       const compress::RoundContext& ctx,
       const std::vector<std::span<const float>>& client_states) override;

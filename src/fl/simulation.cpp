@@ -38,6 +38,13 @@ void add_fault_counters(const RoundRecord::FaultCounters& counters,
 
 }  // namespace
 
+double staleness_weight(int staleness, double alpha) {
+  // alpha == 0 is the unweighted-buffering ablation: exactly 1.0 for every
+  // staleness, so an alpha-0 run is a pure FedBuff mean over raw deltas.
+  if (staleness <= 0 || alpha == 0.0) return 1.0;
+  return std::pow(1.0 + static_cast<double>(staleness), -alpha);
+}
+
 Simulation::Simulation(SimulationOptions options,
                        std::unique_ptr<compress::SyncProtocol> protocol)
     : options_(std::move(options)),
@@ -56,6 +63,26 @@ Simulation::Simulation(SimulationOptions options,
       options_.participation_fraction > 1.0) {
     throw std::invalid_argument("Simulation: participation fraction out of (0,1]");
   }
+  if (options_.async.buffer_k < 0) {
+    throw std::invalid_argument("Simulation: async.buffer_k < 0");
+  }
+  if (options_.async.staleness_alpha < 0.0) {
+    throw std::invalid_argument("Simulation: async.staleness_alpha < 0");
+  }
+  if (options_.async.enabled) {
+    // Async dispatches every active client continuously: the synchronous
+    // participation cut does not exist. Forcing the fraction to 1 also makes
+    // the barrier-degenerate route (step_sync below) aggregate the full
+    // cohort, which is what a K >= cohort buffer does.
+    options_.participation_fraction = 1.0;
+    // Overlapping uploads only exist in the flow-level timing model.
+    options_.timing = TimingModel::kFlowLevel;
+    uplink_ = std::make_unique<net::AsyncUplink>(
+        options_.network.server_bandwidth_bps);
+    client_busy_.assign(static_cast<std::size_t>(options_.num_clients), 0);
+    client_ready_s_.assign(static_cast<std::size_t>(options_.num_clients),
+                           0.0);
+  }
 
   // Fold the legacy flat upload-loss knob into the fault plan so there is a
   // single failure mechanism. The fault stream is salted with the
@@ -69,6 +96,15 @@ Simulation::Simulation(SimulationOptions options,
   }
   fault_options.seed ^= options_.seed;
   faults_ = FaultPlan(fault_options);
+
+  // With K >= cohort and no faults the arrival buffer only fills when every
+  // client has arrived — structurally the synchronous barrier — so the run
+  // routes to the exact synchronous path (DESIGN.md §11 explains why the
+  // general engine cannot reproduce it bit-for-bit: absolute-time
+  // water-filling arithmetic is not shift-invariant in floating point).
+  async_barrier_ = options_.async.enabled && !faults_.enabled() &&
+                   options_.async.buffer_k > 0 &&
+                   options_.async.buffer_k >= options_.num_clients;
 
   // Partition the training data across clients (Dirichlet label skew).
   data::PartitionOptions part;
@@ -197,6 +233,11 @@ RoundRecord Simulation::stalled_round(int round, double round_time,
 }
 
 RoundRecord Simulation::step() {
+  if (options_.async.enabled && !async_barrier_) return step_async();
+  return step_sync();
+}
+
+RoundRecord Simulation::step_sync() {
   OBS_SPAN("sim.round");
   const int round = round_;
   // Wall-clock phase attribution (host time, gated so the disabled path
@@ -495,6 +536,468 @@ RoundRecord Simulation::step() {
   return record;
 }
 
+// One buffered-async aggregation cycle (DESIGN.md §11). The barrier is
+// gone: every idle client is dispatched against the current model version,
+// uploads contend on the shared ingress link across cycles (AsyncUplink
+// keeps the full flow history), and the server aggregates as soon as the
+// first K deliverable uploads have arrived on the simulated clock. Stale
+// updates are re-based onto the current model with the 1/(1+s)^alpha
+// discount; aggregation order is (arrival time, seed-keyed tiebreak,
+// client id), so results are bitwise identical for every --threads value.
+RoundRecord Simulation::step_async() {
+  OBS_SPAN("sim.round");
+  const int round = round_;
+  const bool wall_on = obs::metrics_enabled();
+  util::Stopwatch wall_sw;
+  RoundRecord::WallPhases wall;
+
+  const double cycle_start_s = elapsed_time_s_;
+  const double flops = model_flops_per_round();
+  const bool faulty = faults_.enabled();
+  const FaultOptions& fo = faults_.options();
+
+  RoundRecord::FaultCounters fc;
+  std::size_t resync_bytes_total = 0;
+  if (faulty) {
+    faults_.begin_round(round, static_cast<int>(clients_.size()));
+    const FaultPlan::RoundSummary& summary = faults_.round_summary();
+    fc.crashed = summary.absent;
+    if (obs::metrics_enabled() && summary.onsets > 0) {
+      obs::MetricsRegistry::global()
+          .counter("faults.crashes")
+          .add(static_cast<std::uint64_t>(summary.onsets));
+    }
+  }
+
+  // Dispatch: every idle, present client starts a new leg against the
+  // current model version. Clients mid-upload keep traveling against the
+  // version they were handed; crashed clients wait until they rejoin.
+  std::vector<int> dispatch_ids;
+  int cohort = 0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (!active_[i]) continue;
+    ++cohort;
+    if (client_busy_[i]) continue;
+    if (faulty && faults_.is_absent(static_cast<int>(i))) continue;
+    dispatch_ids.push_back(static_cast<int>(i));
+  }
+  fc.selected = static_cast<int>(dispatch_ids.size());
+  if (faulty) {
+    // A rejoiner is billed its forced re-sync (model + protocol speculation
+    // state) when it is next dispatched — the same staleness rule as the
+    // synchronous path, anchored to the dispatch instead of the barrier.
+    for (int id : dispatch_ids) {
+      if (!faults_.fault(id).rejoined) continue;
+      ++fc.rejoined;
+      ++fc.resyncs;
+      resync_bytes_total +=
+          global_.size() * sizeof(float) + protocol_->on_client_rejoin(id);
+    }
+  }
+  if (wall_on) wall.select_s = wall_sw.lap();
+
+  // Local training for the new legs. They all read the same current
+  // global_, so the per-worker-replica pool path applies unchanged and the
+  // §5b thread-count determinism argument carries over verbatim.
+  LocalTrainOptions local = options_.local;
+  if (options_.lr_schedule) {
+    local.learning_rate = options_.lr_schedule->lr(round);
+  }
+  std::vector<std::vector<float>> states(dispatch_ids.size());
+  std::vector<double> losses(dispatch_ids.size(), 0.0);
+  {
+    OBS_SPAN("sim.train");
+    train_participants(dispatch_ids, local, states, losses);
+  }
+  if (wall_on) wall.train_s = wall_sw.lap();
+
+  // Register the new upload flows. Flow timing uses the dispatch-time
+  // payload estimate (actual bytes exist only after synchronization — the
+  // same convention the synchronous selection estimate relies on); the byte
+  // accounting below charges actual bytes.
+  std::shared_ptr<const std::vector<float>> snapshot;
+  const double est_bytes = last_mean_payload_bytes_;
+  for (std::size_t k = 0; k < dispatch_ids.size(); ++k) {
+    const int id = dispatch_ids[k];
+    InFlight leg;
+    leg.client = id;
+    leg.version = model_version_;
+    leg.dispatch_cycle = round;
+    leg.dispatch_s = std::max(cycle_start_s, client_ready_s_[id]);
+    double compute_done =
+        leg.dispatch_s + network_.compute_time(id, round, flops);
+    double up_bytes = est_bytes;
+    double rate = network_.client_bandwidth_bps(id);
+    if (faulty) {
+      const ClientFault& f = faults_.fault(id);
+      if (f.straggler) ++fc.stragglers;
+      fc.retries += f.upload_attempts - 1;
+      compute_done =
+          leg.dispatch_s +
+          network_.compute_time(id, round, flops) * f.compute_factor +
+          static_cast<double>(f.upload_attempts - 1) * fo.retry_backoff_s;
+      up_bytes *= static_cast<double>(f.upload_attempts);
+      rate /= f.comm_factor;
+      leg.attempts = f.upload_attempts;
+      leg.comm_factor = f.comm_factor;
+      leg.delivered = f.delivered;
+      leg.corrupt = f.corrupt;
+    }
+    leg.flow = uplink_->add(compute_done, up_bytes, rate);
+    leg.loss = losses[k];
+    leg.state = std::move(states[k]);
+    if (!snapshot) {
+      snapshot = std::make_shared<const std::vector<float>>(global_);
+    }
+    leg.dispatch_global = snapshot;
+    client_busy_[static_cast<std::size_t>(id)] = 1;
+    inflight_.push_back(std::move(leg));
+  }
+
+  // Arrival ordering under the full contention history: (arrival time,
+  // seed-keyed tiebreak, client id) — deterministic for any thread count.
+  struct Candidate {
+    double arrival_s = 0.0;
+    std::uint64_t tiebreak = 0;
+    int client = 0;
+    std::size_t entry = 0;
+    bool deliverable = false;
+    bool deadline_missed = false;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(inflight_.size());
+  {
+    OBS_SPAN("sim.timing");
+    for (std::size_t e = 0; e < inflight_.size(); ++e) {
+      const InFlight& leg = inflight_[e];
+      Candidate c;
+      c.arrival_s = uplink_->completion_s(leg.flow);
+      c.tiebreak =
+          net::arrival_tiebreak(options_.seed, leg.client, leg.version);
+      c.client = leg.client;
+      c.entry = e;
+      // In async mode deadline_s bounds an upload's AGE (arrival minus
+      // dispatch): there is no per-round barrier for an absolute deadline
+      // to anchor to (docs/FAULT_MODEL.md).
+      c.deadline_missed = faulty && fo.deadline_s > 0.0 &&
+                          (c.arrival_s - leg.dispatch_s) > fo.deadline_s;
+      c.deliverable = leg.delivered && !leg.corrupt && !c.deadline_missed;
+      candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.arrival_s != b.arrival_s) {
+                  return a.arrival_s < b.arrival_s;
+                }
+                if (a.tiebreak != b.tiebreak) return a.tiebreak < b.tiebreak;
+                return a.client < b.client;
+              });
+  }
+  if (wall_on) wall.timing_s = wall_sw.lap();
+
+  int deliverable_count = 0;
+  for (const Candidate& c : candidates) {
+    if (c.deliverable) ++deliverable_count;
+  }
+  const int base_k = [&] {
+    const int k = options_.async.buffer_k;
+    if (k <= 0) return std::max(1, cohort / 2);  // default: half the cohort
+    return std::min(k, std::max(cohort, 1));     // clamp: K > cohort is a barrier
+  }();
+  const int quorum = faulty ? std::max(1, fo.min_quorum) : 1;
+  const int k_eff = std::min(base_k, deliverable_count);
+
+  int uploads_lost = 0;
+  auto free_client = [&](const InFlight& leg, double when) {
+    client_busy_[static_cast<std::size_t>(leg.client)] = 0;
+    client_ready_s_[static_cast<std::size_t>(leg.client)] = when;
+  };
+  // Corruption on receipt, same mechanics as the synchronous path: encode
+  // the trained payload, flip one deterministic bit keyed on the DISPATCH
+  // cycle (so the realization travels with the leg), verify the CRC rejects.
+  auto verify_corrupt = [&](const InFlight& leg) {
+    auto payload = compress::wire::encode_dense(leg.state);
+    if (payload.empty()) payload.push_back(0);
+    const std::uint32_t sent_crc = compress::wire::crc32(payload);
+    util::Rng flip(
+        fo.seed ^
+        (0x9e3779b97f4a7c15ULL *
+         (static_cast<std::uint64_t>(leg.dispatch_cycle) + 1)) ^
+        (0x94d049bb133111ebULL * (static_cast<std::uint64_t>(leg.client) + 1)));
+    const std::size_t bit =
+        static_cast<std::size_t>(flip.uniform_index(payload.size() * 8));
+    payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    if (compress::wire::crc32(payload) == sent_crc) {
+      throw std::logic_error("Simulation: CRC failed to detect a bit flip");
+    }
+    ++fc.corrupt;
+  };
+  auto erase_entries = [&](std::vector<std::size_t>& which) {
+    std::sort(which.begin(), which.end());
+    std::vector<InFlight> keep;
+    keep.reserve(inflight_.size() - which.size());
+    std::size_t ri = 0;
+    for (std::size_t e = 0; e < inflight_.size(); ++e) {
+      if (ri < which.size() && which[ri] == e) {
+        ++ri;
+        continue;
+      }
+      keep.push_back(std::move(inflight_[e]));
+    }
+    inflight_ = std::move(keep);
+  };
+
+  if (k_eff < quorum) {
+    // The buffer cannot fill: the cycle stalls. Deliverable legs stay
+    // buffered for a later cycle; loss / corruption / deadline events are
+    // waited out so their clients come back as dispatchable. A cycle with
+    // nothing to wait for costs one latency heartbeat.
+    if (!faulty && candidates.empty()) {
+      throw std::logic_error("Simulation: no active clients");
+    }
+    double t_end = cycle_start_s;
+    bool any_event = false;
+    std::vector<std::size_t> remove_entries;
+    for (const Candidate& c : candidates) {
+      if (c.deliverable) continue;
+      const InFlight& leg = inflight_[c.entry];
+      any_event = true;
+      t_end = std::max(t_end, c.arrival_s);
+      if (!leg.delivered) {
+        ++uploads_lost;
+      } else if (leg.corrupt) {
+        verify_corrupt(leg);
+      } else {
+        ++fc.deadline_missed;
+      }
+      free_client(leg, c.arrival_s);
+      remove_entries.push_back(c.entry);
+    }
+    if (!any_event) t_end = cycle_start_s + options_.network.base_latency_s;
+    erase_entries(remove_entries);
+    fc.quorum_met = false;
+    const double round_time = t_end - cycle_start_s;
+    elapsed_time_s_ = t_end;
+    ++round_;
+
+    RoundRecord record;
+    record.round = round;
+    record.uploads_lost = uploads_lost;
+    record.round_time_s = round_time;
+    record.elapsed_time_s = elapsed_time_s_;
+    record.num_participants = 0;
+    record.bytes_down = resync_bytes_total;
+    RoundRecord::AsyncStats as;
+    as.buffer_k = base_k;
+    as.inflight = static_cast<int>(inflight_.size());
+    as.fill_time_s = round_time;
+    record.async = as;
+    if (faulty) {
+      record.faults = fc;
+      add_fault_counters(fc, uploads_lost);
+    }
+    if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
+      OBS_SPAN("sim.eval");
+      record.test_accuracy = evaluate();
+    }
+    if (wall_on) {
+      wall.eval_s = wall_sw.lap();
+      wall.total_s = wall_sw.elapsed_seconds();
+      record.wall = wall;
+    }
+    if (round_hook_) round_hook_(record);
+    return record;
+  }
+
+  // Consume arrivals in order until the buffer holds K deliverable updates.
+  // Loss / corruption / deadline events landing before the buffer fills are
+  // realized now; anything ordered after the K-th arrival stays in flight.
+  double t_agg = cycle_start_s;
+  std::vector<std::size_t> consumed_entries;
+  std::vector<std::size_t> remove_entries;
+  int consumed = 0;
+  for (const Candidate& c : candidates) {
+    const InFlight& leg = inflight_[c.entry];
+    if (c.deliverable) {
+      consumed_entries.push_back(c.entry);
+      remove_entries.push_back(c.entry);
+      t_agg = std::max(t_agg, c.arrival_s);
+      if (++consumed == k_eff) break;
+    } else {
+      if (!leg.delivered) {
+        ++uploads_lost;
+      } else if (leg.corrupt) {
+        verify_corrupt(leg);
+      } else {
+        ++fc.deadline_missed;
+      }
+      free_client(leg, c.arrival_s);
+      remove_entries.push_back(c.entry);
+    }
+  }
+
+  // Aggregate. The protocol contract wants ascending client ids; staleness
+  // is the number of aggregations since the leg's version was dispatched.
+  std::sort(consumed_entries.begin(), consumed_entries.end(),
+            [&](std::size_t a, std::size_t b) {
+              return inflight_[a].client < inflight_[b].client;
+            });
+  compress::RoundContext ctx;
+  ctx.round = round;
+  RoundRecord::AsyncStats as;
+  as.buffer_k = base_k;
+  as.consumed = consumed;
+  as.fill_time_s = t_agg - cycle_start_s;
+  std::vector<std::vector<float>> virtuals;
+  virtuals.reserve(consumed_entries.size());
+  std::vector<std::span<const float>> views;
+  views.reserve(consumed_entries.size());
+  double loss_sum = 0.0;
+  int staleness_sum = 0;
+  int stale_uploads = 0;
+  for (std::size_t e : consumed_entries) {
+    const InFlight& leg = inflight_[e];
+    ctx.participants.push_back(leg.client);
+    ctx.dispatch_rounds.push_back(leg.version);
+    loss_sum += leg.loss;
+    const int s = model_version_ - leg.version;
+    as.max_staleness = std::max(as.max_staleness, s);
+    staleness_sum += s;
+    if (static_cast<int>(as.staleness_hist.size()) <= s) {
+      as.staleness_hist.resize(static_cast<std::size_t>(s) + 1, 0);
+    }
+    ++as.staleness_hist[static_cast<std::size_t>(s)];
+    const double w = staleness_weight(s, options_.async.staleness_alpha);
+    as.weight_sum += w;
+    if (s == 0) {
+      // Fresh update: hand the raw state through, so an all-fresh cycle is
+      // bit-identical to a synchronous aggregation of the same clients
+      // (global + (state - global) != state in float arithmetic).
+      views.emplace_back(leg.state);
+      continue;
+    }
+    ++stale_uploads;
+    // Stale update: re-base its delta onto the current model under the
+    // staleness discount — virtual = global + w * (state - dispatch_global)
+    // — which turns the protocol's plain mean into the FedBuff buffered
+    // update rule. Accumulated in double, stored as float like every other
+    // aggregation path in the repo.
+    const std::vector<float>& base = *leg.dispatch_global;
+    std::vector<float> virt(global_.size());
+    for (std::size_t j = 0; j < virt.size(); ++j) {
+      virt[j] = static_cast<float>(
+          static_cast<double>(global_[j]) +
+          w * (static_cast<double>(leg.state[j]) -
+               static_cast<double>(base[j])));
+    }
+    virtuals.push_back(std::move(virt));
+    views.emplace_back(virtuals.back());
+  }
+  as.mean_staleness =
+      consumed == 0 ? 0.0
+                    : static_cast<double>(staleness_sum) /
+                          static_cast<double>(consumed);
+
+  compress::SyncResult sync = [&] {
+    OBS_SPAN("sim.sync");
+    return protocol_->synchronize(ctx, views);
+  }();
+  if (wall_on) wall.sync_s = wall_sw.lap();
+  if (sync.new_global.size() != global_.size()) {
+    throw std::logic_error("Simulation: protocol changed state size");
+  }
+  global_ = std::move(sync.new_global);
+  ++model_version_;
+
+  // The consumed clients download the new model starting at the
+  // aggregation instant; their next dispatch waits for that download.
+  // Egress is simulated per aggregation batch (the same shape as the
+  // synchronous phase 2); cross-cycle egress contention is not modeled —
+  // the server link dwarfs the client caps, so batches barely interact.
+  std::size_t bytes_up_total = 0, bytes_down_total = 0;
+  {
+    OBS_SPAN("sim.timing");
+    std::vector<net::Flow> downloads(consumed_entries.size());
+    for (std::size_t i = 0; i < consumed_entries.size(); ++i) {
+      const InFlight& leg = inflight_[consumed_entries[i]];
+      bytes_up_total += sync.bytes_up[i];
+      bytes_down_total += sync.bytes_down[i];
+      downloads[i].start_time_s = t_agg;
+      downloads[i].bytes = static_cast<double>(sync.bytes_down[i]);
+      // A straggler's thin link covers its whole leg, the upload and the
+      // following model download alike.
+      downloads[i].rate_cap_bps =
+          network_.client_bandwidth_bps(leg.client) / leg.comm_factor;
+    }
+    const auto finished = net::simulate_shared_link(
+        downloads, options_.network.server_bandwidth_bps);
+    for (std::size_t i = 0; i < consumed_entries.size(); ++i) {
+      free_client(inflight_[consumed_entries[i]], finished[i].finish_time_s);
+    }
+  }
+  erase_entries(remove_entries);
+  as.inflight = static_cast<int>(inflight_.size());
+  if (wall_on) wall.timing_s += wall_sw.lap();
+
+  const double round_time = t_agg - cycle_start_s;
+  elapsed_time_s_ = t_agg;
+  last_mean_payload_bytes_ =
+      consumed == 0 ? last_mean_payload_bytes_
+                    : static_cast<double>(bytes_up_total + bytes_down_total) /
+                          (2.0 * static_cast<double>(consumed));
+  ++round_;
+
+  RoundRecord record;
+  record.round = round;
+  record.round_time_s = round_time;
+  record.elapsed_time_s = elapsed_time_s_;
+  record.train_loss =
+      consumed == 0 ? 0.0 : loss_sum / static_cast<double>(consumed);
+  record.sparsification_ratio = protocol_->last_sparsification_ratio();
+  record.bytes_up = bytes_up_total;
+  record.bytes_down = bytes_down_total + resync_bytes_total;
+  record.num_participants = consumed;
+  record.uploads_lost = uploads_lost;
+  const compress::SyncProtocol::Telemetry tele =
+      protocol_->last_round_telemetry();
+  record.speculated_fraction = tele.speculated_fraction;
+  record.fallback_syncs = static_cast<int>(tele.fallback_syncs);
+  record.async = as;
+  if (faulty) {
+    record.faults = fc;
+    add_fault_counters(fc, uploads_lost);
+  }
+  if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
+    OBS_SPAN("sim.eval");
+    record.test_accuracy = evaluate();
+  }
+  if (wall_on) {
+    wall.eval_s = wall_sw.lap();
+    wall.total_s = wall_sw.elapsed_seconds();
+    record.wall = wall;
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("fl.round.count").add(1);
+    reg.counter("fl.round.bytes_up").add(record.bytes_up);
+    reg.counter("fl.round.bytes_down").add(record.bytes_down);
+    reg.counter("fl.async.aggregations").add(1);
+    reg.counter("fl.async.stale_uploads")
+        .add(static_cast<std::uint64_t>(stale_uploads));
+    obs::HistogramOptions stale_opts;
+    stale_opts.lo = 0.0;
+    stale_opts.hi = 32.0;
+    stale_opts.buckets = 16;
+    auto& hist =
+        reg.histogram("fl.async.staleness", stale_opts);
+    for (std::size_t s = 0; s < as.staleness_hist.size(); ++s) {
+      for (int c = 0; c < as.staleness_hist[s]; ++c) {
+        hist.record(static_cast<double>(s));
+      }
+    }
+  }
+  if (round_hook_) round_hook_(record);
+  return record;
+}
+
 void Simulation::train_participants(const std::vector<int>& participants,
                                     const LocalTrainOptions& local,
                                     std::vector<std::vector<float>>& states,
@@ -581,6 +1084,11 @@ std::pair<int, std::size_t> Simulation::add_client(data::Dataset shard) {
                                               options_.local.batch_size, rng));
   active_.push_back(true);
   network_.add_clients(1);
+  if (options_.async.enabled) {
+    client_busy_.push_back(0);
+    // The joiner can be dispatched from the moment it appears.
+    client_ready_s_.push_back(elapsed_time_s_);
+  }
   protocol_->on_client_join(id);
   // The joiner downloads the latest model plus protocol join state (§V).
   const std::size_t join_bytes =

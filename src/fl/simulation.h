@@ -17,6 +17,7 @@
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/faults.h"
+#include "net/async_queue.h"
 #include "net/network_model.h"
 #include "nn/schedule.h"
 #include "nn/zoo.h"
@@ -29,6 +30,28 @@ enum class TimingModel {
   kCoarse,     // per-client: compute + bytes / (capacity shared evenly)
   kFlowLevel,  // two-phase max-min-fair flow simulation (net/round_timeline)
 };
+
+// FedBuff-style buffered-asynchronous execution (DESIGN.md §11): the server
+// aggregates as soon as the first `buffer_k` uploads arrive on the simulated
+// clock, weighting each update by 1/(1+staleness)^alpha where staleness is
+// the number of aggregations since the update's model version was
+// dispatched. Slow clients keep training against the version they were
+// handed instead of being re-selected; the synchronous barrier disappears.
+struct AsyncOptions {
+  bool enabled = false;
+  // Uploads buffered before the server aggregates. 0 (the default) means
+  // half the cohort, rounded up to 1. A value >= the cohort with zero fault
+  // rates is structurally a barrier and runs the exact synchronous path
+  // (bitwise-identical byte stream, see DESIGN.md §11).
+  int buffer_k = 0;
+  // Staleness discount exponent alpha. 0 = unweighted buffering: every
+  // update's delta is applied at full weight regardless of age.
+  double staleness_alpha = 0.5;
+};
+
+// The staleness discount w = 1/(1+s)^alpha. s <= 0 or alpha == 0 gives
+// exactly 1.0. Exposed for tests and doc examples.
+double staleness_weight(int staleness, double alpha);
 
 struct SimulationOptions {
   nn::ModelSpec model;
@@ -63,6 +86,11 @@ struct SimulationOptions {
   // global state stays put, and the RoundRecord is self-consistent
   // (num_participants == 0, speculated_fraction == 0).
   double upload_loss_probability = 0.0;
+  // Buffered-async execution. When enabled, `participation_fraction` is
+  // ignored (every active client is always either training or uploading),
+  // and `timing` is forced to kFlowLevel — overlapping uploads only exist
+  // in the flow-level model.
+  AsyncOptions async;
   int eval_every = 1;       // test-set evaluation period, in rounds
   int eval_batch = 64;
   std::uint64_t seed = 42;
@@ -108,6 +136,29 @@ struct RoundRecord {
     bool quorum_met = true;   // false: round stalled below min_quorum
   };
   std::optional<FaultCounters> faults;
+
+  // Per-cycle buffered-async telemetry, engaged only when the async engine
+  // ran the cycle (the optional stays empty on the synchronous path and in
+  // barrier-degenerate async runs, which ARE the synchronous path).
+  // In async mode one RoundRecord describes one aggregation cycle, and the
+  // fault reconciliation invariant becomes cumulative: over a run,
+  //   sum(selected) == sum(num_participants) + sum(uploads_lost)
+  //                  + sum(corrupt) + sum(deadline_missed)
+  //                  + inflight-at-end
+  // because a cycle may consume uploads dispatched cycles earlier.
+  struct AsyncStats {
+    int buffer_k = 0;          // effective K after clamping to the cohort
+    int consumed = 0;          // uploads aggregated this cycle
+    int inflight = 0;          // uploads still traveling when the cycle ended
+    double fill_time_s = 0.0;  // cycle start -> K-th arrival (sim. seconds)
+    int max_staleness = 0;     // version lag, in aggregations
+    double mean_staleness = 0.0;
+    double weight_sum = 0.0;   // sum of staleness weights over consumed
+    // staleness_hist[s] = consumed uploads that were s versions stale;
+    // sums to `consumed`.
+    std::vector<int> staleness_hist;
+  };
+  std::optional<AsyncStats> async;
 
   // Host wall-clock time spent in each phase of step(), measured only when
   // obs::metrics_enabled() (all zero otherwise). These are real durations on
@@ -168,6 +219,30 @@ class Simulation {
   void load_global_state(std::vector<float> state);
 
  private:
+  // One upload leg in flight between dispatch and consumption (async mode).
+  struct InFlight {
+    int client = 0;
+    int version = 0;         // model_version_ at dispatch
+    int dispatch_cycle = 0;  // round_ at dispatch (keys the fault RNG)
+    double dispatch_s = 0.0; // absolute simulated dispatch time
+    std::size_t flow = 0;    // AsyncUplink flow id
+    int attempts = 1;
+    double comm_factor = 1.0;
+    bool delivered = true;
+    bool corrupt = false;
+    double loss = 0.0;
+    std::vector<float> state;  // trained local state (awaiting arrival)
+    // The global the client trained against; shared by every leg dispatched
+    // off the same version so stale deltas can be re-based onto the current
+    // model at consumption time.
+    std::shared_ptr<const std::vector<float>> dispatch_global;
+  };
+
+  // The synchronous barrier round (the historical step()).
+  RoundRecord step_sync();
+  // One buffered-async aggregation cycle (DESIGN.md §11).
+  RoundRecord step_async();
+
   std::vector<int> select_participants(int round);
   // Builds the consistent record for a round that stalled (no aggregation:
   // every upload lost, quorum missed, or every client crashed).
@@ -201,6 +276,17 @@ class Simulation {
   double elapsed_time_s_ = 0.0;
   double last_mean_payload_bytes_ = 0.0;  // for finish-time estimation
   std::function<void(const RoundRecord&)> round_hook_;
+
+  // --- buffered-async state (unused on the synchronous path) ---
+  // True when the configured K is structurally a barrier (K >= cohort, no
+  // faults): the run routes to step_sync() and is the synchronous path.
+  bool async_barrier_ = false;
+  int model_version_ = 0;  // aggregations completed (== protocol rounds_seen)
+  std::unique_ptr<net::AsyncUplink> uplink_;
+  std::vector<InFlight> inflight_;
+  std::vector<char> client_busy_;       // has an upload leg in flight
+  std::vector<double> client_ready_s_;  // absolute next-dispatch time
+
 };
 
 }  // namespace fedsu::fl

@@ -1,0 +1,58 @@
+#include "net/async_queue.h"
+
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace fedsu::net {
+
+std::uint64_t arrival_tiebreak(std::uint64_t seed, int client, int version) {
+  // splitmix64-style finalizer over the three keys; any bijective mixer
+  // works, it only has to be stable and seed-dependent.
+  std::uint64_t x = seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(client) + 1)) ^
+                    (0xbf58476d1ce4e5b9ULL *
+                     (static_cast<std::uint64_t>(version) + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+AsyncUplink::AsyncUplink(double server_bps) : server_bps_(server_bps) {
+  if (server_bps <= 0.0) {
+    throw std::invalid_argument("AsyncUplink: server_bps <= 0");
+  }
+}
+
+std::size_t AsyncUplink::add(double start_s, double bytes,
+                             double rate_cap_bps) {
+  Flow flow;
+  flow.start_time_s = start_s;
+  flow.bytes = bytes;
+  flow.rate_cap_bps = rate_cap_bps;
+  flows_.push_back(flow);
+  dirty_ = true;
+  return flows_.size() - 1;
+}
+
+double AsyncUplink::completion_s(std::size_t flow) {
+  if (flow >= flows_.size()) {
+    throw std::out_of_range("AsyncUplink: bad flow id");
+  }
+  if (dirty_) {
+    OBS_SPAN("net.async_uplink");
+    const auto results = simulate_shared_link(flows_, server_bps_);
+    done_.resize(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      done_[i] = results[i].finish_time_s;
+    }
+    dirty_ = false;
+  }
+  return done_[flow];
+}
+
+}  // namespace fedsu::net

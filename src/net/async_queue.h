@@ -1,0 +1,59 @@
+// Per-upload completion ordering for the buffered-async round engine
+// (DESIGN.md §11).
+//
+// The synchronous path simulates one round's uploads in isolation
+// (net/round_timeline); under buffered-async execution uploads from many
+// dispatch cycles overlap on the server's ingress link, so completion times
+// depend on the *whole* contention history. AsyncUplink keeps every upload
+// flow ever dispatched (absolute start times) and re-runs the max-min fair
+// water-filling simulation over the full history whenever a new cycle needs
+// arrival times.
+//
+// Why re-simulating is safe (and deterministic): flows are only ever
+// appended, and every new flow starts at or after the aggregation instant
+// that triggered its dispatch. simulate_shared_link integrates epochs in
+// absolute time and visits flows in index order, so the completion of any
+// flow that finished before the earliest newly-added start time is bitwise
+// unchanged by the re-run — consumed arrivals never move — while flows still
+// in progress legitimately pick up the new contention. Cost is O(F^2) over a
+// run's flow count, which is negligible next to local training at bench
+// scales.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/flow_sim.h"
+
+namespace fedsu::net {
+
+// Seed-keyed tiebreak for simultaneous arrivals: hashes (client, version)
+// through the run seed so equal-time arrivals are consumed in an order that
+// is reproducible for any thread count yet not systematically biased toward
+// low client ids (the id itself is only the final tiebreak; §5b).
+std::uint64_t arrival_tiebreak(std::uint64_t seed, int client, int version);
+
+class AsyncUplink {
+ public:
+  // `server_bps` is the shared ingress capacity every upload contends for.
+  explicit AsyncUplink(double server_bps);
+
+  // Registers an upload flow; returns its stable id. `start_s` is absolute
+  // simulated time (compute finish + any retry backoff).
+  std::size_t add(double start_s, double bytes, double rate_cap_bps);
+
+  // Completion time of `flow` under the full contention history, re-running
+  // the water-filling simulation if any flow was added since the last call.
+  double completion_s(std::size_t flow);
+
+  std::size_t size() const { return flows_.size(); }
+
+ private:
+  double server_bps_;
+  std::vector<Flow> flows_;
+  std::vector<double> done_;
+  bool dirty_ = false;
+};
+
+}  // namespace fedsu::net

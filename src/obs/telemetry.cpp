@@ -56,6 +56,25 @@ std::string TelemetryWriter::to_json_line(const fl::RoundRecord& record,
             (fc.quorum_met ? "true" : "false");
     line += "}";
   }
+  // Buffered-async cycle stats ride along only when the async engine ran
+  // the round; synchronous runs (and barrier-degenerate async runs, which
+  // ARE the synchronous path) keep the historical line format.
+  if (record.async) {
+    const auto& as = *record.async;
+    line += ", \"async\": {\"buffer_k\": " + std::to_string(as.buffer_k);
+    line += ", \"consumed\": " + std::to_string(as.consumed);
+    line += ", \"inflight\": " + std::to_string(as.inflight);
+    line += ", \"fill_time_s\": " + json_number(as.fill_time_s);
+    line += ", \"max_staleness\": " + std::to_string(as.max_staleness);
+    line += ", \"mean_staleness\": " + json_number(as.mean_staleness);
+    line += ", \"weight_sum\": " + json_number(as.weight_sum);
+    line += ", \"staleness_hist\": [";
+    for (std::size_t s = 0; s < as.staleness_hist.size(); ++s) {
+      if (s > 0) line += ", ";
+      line += std::to_string(as.staleness_hist[s]);
+    }
+    line += "]}";
+  }
   line += "}";
   return line;
 }

@@ -155,19 +155,52 @@ void validate_telemetry(const std::string& path, int expect_rounds) {
     check(spec >= 0.0 && spec <= 1.0,
           path + ": speculated_fraction outside [0,1] in round " +
               std::to_string(round));
-    if (record.has("faults")) {
-      // Fault-injection bookkeeping must balance: every selected client is
-      // accounted for exactly once (aggregated, lost, corrupt, late, or
-      // delivered-but-unused).
-      const JsonValue& fc = record.at("faults");
-      const double accounted = participants +
-                               record.at("uploads_lost").as_number() +
-                               fc.at("corrupt").as_number() +
-                               fc.at("deadline_missed").as_number() +
-                               fc.at("unused").as_number();
-      check(fc.at("selected").as_number() == accounted,
-            path + ": fault tallies do not sum to selected in round " +
+    const bool is_async = record.has("async");
+    if (is_async) {
+      // Buffered-async cycle object: the staleness histogram must account
+      // for every aggregated upload, and the discount weights are each in
+      // (0, 1], so their sum is positive and at most `consumed`.
+      const JsonValue& as = record.at("async");
+      const double consumed = as.at("consumed").as_number();
+      check(consumed == participants,
+            path + ": async.consumed != participants in round " +
                 std::to_string(round));
+      check(as.at("fill_time_s").as_number() >= 0.0,
+            path + ": negative async.fill_time_s in round " +
+                std::to_string(round));
+      check(as.at("inflight").as_number() >= 0.0,
+            path + ": negative async.inflight in round " +
+                std::to_string(round));
+      double hist_sum = 0.0;
+      for (const JsonValue& bucket : as.at("staleness_hist").as_array()) {
+        hist_sum += bucket.as_number();
+      }
+      check(hist_sum == consumed,
+            path + ": async.staleness_hist does not sum to consumed in "
+                   "round " + std::to_string(round));
+      const double weight_sum = as.at("weight_sum").as_number();
+      check(weight_sum <= consumed + 1e-9 &&
+                (consumed == 0.0 || weight_sum > 0.0),
+            path + ": async.weight_sum outside (0, consumed] in round " +
+                std::to_string(round));
+    }
+    if (record.has("faults")) {
+      const JsonValue& fc = record.at("faults");
+      if (!is_async) {
+        // Synchronous fault bookkeeping must balance per round: every
+        // selected client is accounted for exactly once (aggregated, lost,
+        // corrupt, late, or delivered-but-unused). Async cycles consume
+        // uploads dispatched in earlier cycles, so their reconciliation is
+        // cumulative and checked by bench_robustness instead.
+        const double accounted = participants +
+                                 record.at("uploads_lost").as_number() +
+                                 fc.at("corrupt").as_number() +
+                                 fc.at("deadline_missed").as_number() +
+                                 fc.at("unused").as_number();
+        check(fc.at("selected").as_number() == accounted,
+              path + ": fault tallies do not sum to selected in round " +
+                  std::to_string(round));
+      }
       check(fc.at("quorum_met").as_bool() == (participants > 0.0),
             path + ": quorum_met inconsistent with participants in round " +
                 std::to_string(round));
