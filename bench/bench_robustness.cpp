@@ -116,6 +116,10 @@ int main(int argc, char** argv) {
   const auto target = static_cast<float>(flags.get_double("target"));
   const std::vector<std::string> schemes = {"fedsu", "fedavg", "topk"};
 
+  // Run-level observability: one manifest / alert stream / telemetry file
+  // spanning every (setting, scheme) cell, fed from run_scheme's loop.
+  fedsu::bench::RunObservatory observatory(config, "bench_robustness", &flags);
+
   // --async switches the whole ladder to buffered-async execution
   // (DESIGN.md §11): same fault settings, but the server aggregates the
   // first K uploads instead of waiting out the barrier. Setting names gain
@@ -144,8 +148,8 @@ int main(int argc, char** argv) {
       // run_scheme builds the simulation from cell_config, so the fault
       // plan (and the async engine) rides in via simulation_options();
       // tallies are folded from the per-round records afterwards.
-      fedsu::bench::SchemeRun run =
-          fedsu::bench::run_scheme(cell_config, scheme, target);
+      fedsu::bench::SchemeRun run = fedsu::bench::run_scheme(
+          cell_config, scheme, target, &observatory, cell_name);
       for (const fedsu::fl::RoundRecord& r : run.records) {
         totals.lost += r.uploads_lost;
         if (r.async) {
@@ -298,6 +302,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
+  observatory.finish(/*ok=*/true);
   fedsu::bench::export_observability(config);
   return 0;
 }

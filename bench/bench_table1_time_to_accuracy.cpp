@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 0;
   bench::BenchConfig base = bench::config_from_flags(flags);
   const bool speedup_vs_serial = flags.get_bool("speedup-vs-serial");
+  bench::RunObservatory observatory(base, "bench_table1_time_to_accuracy",
+                                    &flags);
 
   const std::string models = flags.get_string("models");
   std::vector<ModelTask> tasks;
@@ -78,7 +80,8 @@ int main(int argc, char** argv) {
     config.lr = task.lr;
     double fedavg_wall_seconds = 0.0;
     for (const auto& scheme : schemes) {
-      const bench::SchemeRun run = bench::run_scheme(config, scheme, task.target);
+      const bench::SchemeRun run = bench::run_scheme(
+          config, scheme, task.target, &observatory, task.dataset);
       if (scheme == "fedavg") fedavg_wall_seconds = run.wall_seconds;
       const std::string label =
           task.dataset + "/" +
@@ -130,5 +133,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  observatory.finish(/*ok=*/true);
+  bench::export_observability(base);
   return 0;
 }

@@ -8,6 +8,8 @@
 // ResNet-18/DenseNet-121 to the 1-vCPU zoo (DESIGN.md §2).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -16,9 +18,13 @@
 #include "fl/protocol_factory.h"
 #include "fl/simulation.h"
 #include "metrics/convergence.h"
+#include "obs/health.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/gemm.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -57,9 +63,21 @@ struct BenchConfig {
   // requested outputs: trace if --trace-out is set, metrics if any other
   // output is, off otherwise — so plain runs pay zero instrumentation cost.
   std::string obs_level = "auto";  // auto | off | metrics | trace
-  std::string metrics_out;         // metrics registry JSON (or .csv)
+  std::string metrics_out;         // metrics registry snapshot file
+  std::string metrics_format = "auto";  // auto | json | csv | prom
+  // Crash durability for the metrics snapshot (DESIGN.md §12): rewrite
+  // --metrics-out every N rounds inside the round loop, not just at
+  // teardown. 0 keeps the historical end-of-run-only write.
+  int metrics_flush_every = 0;
   std::string trace_out;           // chrome://tracing timeline JSON
   std::string telemetry_out;       // per-round telemetry JSONL
+  // Run-level observability (DESIGN.md §12): one manifest JSON per run and
+  // one JSONL alert stream from the health monitor. Setting either engages
+  // obs::HealthMonitor on the round loop.
+  std::string manifest_out;
+  std::string alerts_out;
+  // Health-rule thresholds (obs::HealthOptions; <= 0 windows disable rules).
+  obs::HealthOptions health;
   // Fault injection & churn (fl/faults, docs/FAULT_MODEL.md). All zero by
   // default: the fault layer stays off and results are bitwise identical to
   // a faultless build.
@@ -99,11 +117,49 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
       .add_string("obs-level", defaults.obs_level,
                   "observability level: auto | off | metrics | trace")
       .add_string("metrics-out", defaults.metrics_out,
-                  "write the metrics registry as JSON (.csv for CSV)")
+                  "write the metrics registry snapshot (see --metrics-format)")
+      .add_string("metrics-format", defaults.metrics_format,
+                  "metrics snapshot format: auto | json | csv | prom")
+      .add_int("metrics-flush-every", defaults.metrics_flush_every,
+               "rewrite --metrics-out every N rounds (0 = teardown only)")
       .add_string("trace-out", defaults.trace_out,
                   "write a chrome://tracing span timeline JSON")
       .add_string("telemetry-out", defaults.telemetry_out,
                   "write per-round telemetry JSONL")
+      .add_string("manifest-out", defaults.manifest_out,
+                  "write a run manifest JSON (config, environment, aggregates)")
+      .add_string("alerts-out", defaults.alerts_out,
+                  "write health-monitor alerts JSONL")
+      .add_int("health-plateau-window", defaults.health.plateau_window,
+               "rounds without loss improvement before a plateau alert")
+      .add_double("health-plateau-epsilon", defaults.health.plateau_epsilon,
+                  "minimum loss improvement that resets the plateau window")
+      .add_double("health-divergence-factor",
+                  defaults.health.divergence_factor,
+                  "loss multiple over best-so-far that counts as diverging")
+      .add_int("health-divergence-window", defaults.health.divergence_window,
+               "consecutive diverging rounds before a divergence alert")
+      .add_double("health-fallback-fraction",
+                  defaults.health.fallback_storm_fraction,
+                  "fallback syncs per round, as a model fraction, that storm")
+      .add_int("health-fallback-window", defaults.health.fallback_storm_window,
+               "consecutive storming rounds before a fallback-storm alert")
+      .add_double("health-osc-delta", defaults.health.osc_min_delta,
+                  "speculated-fraction step that counts toward oscillation")
+      .add_int("health-osc-window", defaults.health.osc_window,
+               "trailing rounds inspected for speculation oscillation")
+      .add_int("health-osc-flips", defaults.health.osc_flips,
+               "direction reversals in the window that raise the alert")
+      .add_double("health-straggler-fraction",
+                  defaults.health.straggler_fraction,
+                  "windowed straggler/selected ratio that counts as drift")
+      .add_int("health-straggler-window", defaults.health.straggler_window,
+               "trailing rounds for the straggler-drift ratio")
+      .add_int("health-staleness-max", defaults.health.staleness_max,
+               "async staleness (aggregations) above which to alert")
+      .add_int("health-byte-budget",
+               static_cast<long long>(defaults.health.byte_budget_per_round),
+               "per-round byte budget, up+down (0 = no budget)")
       .add_double("faults-churn", defaults.faults.crash_probability,
                   "per-round crash probability per client")
       .add_int("faults-crash-rounds", defaults.faults.crash_rounds_max,
@@ -144,23 +200,21 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
 inline obs::Level resolve_obs_level(const BenchConfig& config) {
   if (config.obs_level != "auto") return obs::parse_level(config.obs_level);
   if (!config.trace_out.empty()) return obs::Level::kTrace;
-  if (!config.metrics_out.empty() || !config.telemetry_out.empty()) {
+  if (!config.metrics_out.empty() || !config.telemetry_out.empty() ||
+      !config.manifest_out.empty() || !config.alerts_out.empty()) {
     return obs::Level::kMetrics;
   }
   return obs::Level::kOff;
 }
 
 // Writes the outputs BenchConfig requested; call once, after the run loop.
-// (--telemetry-out is wired per simulation via obs::TelemetryWriter::hook.)
+// (--telemetry-out / --alerts-out / --manifest-out are wired per round via
+// RunObservatory below.)
 inline void export_observability(const BenchConfig& config) {
   if (!config.metrics_out.empty()) {
-    const auto& path = config.metrics_out;
-    if (path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
-      obs::MetricsRegistry::global().write_csv(path);
-    } else {
-      obs::MetricsRegistry::global().write_json(path);
-    }
-    std::printf("metrics written to %s\n", path.c_str());
+    obs::MetricsRegistry::global().write(config.metrics_out,
+                                         config.metrics_format);
+    std::printf("metrics written to %s\n", config.metrics_out.c_str());
   }
   if (!config.trace_out.empty()) {
     obs::Tracer::global().write_chrome_json(config.trace_out);
@@ -194,8 +248,35 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
   config.cmfl_relevance = flags.get_double("cmfl-relevance");
   config.obs_level = flags.get_string("obs-level");
   config.metrics_out = flags.get_string("metrics-out");
+  config.metrics_format = flags.get_string("metrics-format");
+  config.metrics_flush_every =
+      static_cast<int>(flags.get_int("metrics-flush-every"));
   config.trace_out = flags.get_string("trace-out");
   config.telemetry_out = flags.get_string("telemetry-out");
+  config.manifest_out = flags.get_string("manifest-out");
+  config.alerts_out = flags.get_string("alerts-out");
+  config.health.plateau_window =
+      static_cast<int>(flags.get_int("health-plateau-window"));
+  config.health.plateau_epsilon = flags.get_double("health-plateau-epsilon");
+  config.health.divergence_factor =
+      flags.get_double("health-divergence-factor");
+  config.health.divergence_window =
+      static_cast<int>(flags.get_int("health-divergence-window"));
+  config.health.fallback_storm_fraction =
+      flags.get_double("health-fallback-fraction");
+  config.health.fallback_storm_window =
+      static_cast<int>(flags.get_int("health-fallback-window"));
+  config.health.osc_min_delta = flags.get_double("health-osc-delta");
+  config.health.osc_window = static_cast<int>(flags.get_int("health-osc-window"));
+  config.health.osc_flips = static_cast<int>(flags.get_int("health-osc-flips"));
+  config.health.straggler_fraction =
+      flags.get_double("health-straggler-fraction");
+  config.health.straggler_window =
+      static_cast<int>(flags.get_int("health-straggler-window"));
+  config.health.staleness_max =
+      static_cast<int>(flags.get_int("health-staleness-max"));
+  config.health.byte_budget_per_round =
+      static_cast<std::size_t>(flags.get_int("health-byte-budget"));
   config.faults.crash_probability = flags.get_double("faults-churn");
   config.faults.crash_rounds_max =
       static_cast<int>(flags.get_int("faults-crash-rounds"));
@@ -281,20 +362,185 @@ struct SchemeRun {
   int threads = 1;            // resolved worker-thread count of the run
 };
 
+// Run-level observability for a bench process (DESIGN.md §12): owns the
+// telemetry writer, the health monitor, and the run manifest that
+// --telemetry-out / --alerts-out / --manifest-out requested, and feeds them
+// from run_scheme's round loop. One observatory spans every (setting,
+// scheme) cell a bench runs; per-cell state is reset by begin_scheme so
+// alert edges never leak across cells.
+//
+// §5b contract: the observatory only reads records and the global state —
+// it never touches the simulated clock, RNG streams, or model — so a run
+// with an observatory attached is bitwise identical to one without
+// (tests/test_obs.cpp: MonitoredRunIsBitwiseIdenticalToUnmonitored).
+class RunObservatory {
+ public:
+  RunObservatory(const BenchConfig& config, const std::string& bench_name,
+                 const util::Flags* flags = nullptr)
+      : config_(config) {
+    if (!config_.manifest_out.empty()) {
+      manifest_.emplace(bench_name);
+      obs::RunEnvironment env;
+      env.seed = config_.seed;
+      env.threads = util::ThreadPool::resolve_threads(config_.threads);
+      env.isa = tensor::gemm::isa_name();
+#ifdef NDEBUG
+      env.build = "release";
+#else
+      env.build = "debug";
+#endif
+      env.obs_level = obs::level_name(obs::level());
+      manifest_->set_environment(env);
+      if (flags) manifest_->set_config(flags->resolved());
+    }
+    // The monitor runs whenever anything consumes its output: an alert
+    // stream, or a manifest (which records per-cell alert totals).
+    if (!config_.alerts_out.empty() || manifest_) {
+      monitor_.emplace(config_.health);
+      if (!config_.alerts_out.empty()) {
+        monitor_->open_alerts_file(config_.alerts_out);
+      }
+    }
+    if (!config_.telemetry_out.empty()) {
+      telemetry_.emplace(config_.telemetry_out, bench_name);
+    }
+  }
+
+  bool active() const {
+    return monitor_ || telemetry_ || manifest_ ||
+           config_.metrics_flush_every > 0;
+  }
+  obs::HealthMonitor* monitor() { return monitor_ ? &*monitor_ : nullptr; }
+
+  // Installs the round feed on `sim` and resets per-cell monitor state.
+  // `label` tags telemetry rows and alerts; convention: "setting/scheme"
+  // for multi-cell benches, plain scheme name otherwise.
+  void begin_scheme(fl::Simulation& sim, const std::string& label) {
+    if (monitor_) {
+      monitor_->begin_run(label, sim.model_state_size());
+      for (int s = 0; s < 3; ++s) {
+        alert_base_[s] =
+            monitor_->raised_count(static_cast<obs::AlertSeverity>(s));
+      }
+    }
+    if (telemetry_) telemetry_->set_protocol(label);
+    if (telemetry_ || monitor_) {
+      sim.set_round_hook([this](const fl::RoundRecord& record) {
+        if (telemetry_) telemetry_->append(record);
+        if (monitor_) monitor_->observe_round(record);
+      });
+    }
+  }
+
+  // Post-round work the hook cannot do: the model-state probe (needs the
+  // simulation, not just the record) and the periodic metrics flush.
+  void after_round(const fl::Simulation& sim, const fl::RoundRecord& record) {
+    if (monitor_) monitor_->observe_model(record.round, sim.global_state());
+    ++rounds_seen_;
+    if (config_.metrics_flush_every > 0 && !config_.metrics_out.empty() &&
+        obs::metrics_enabled() &&
+        rounds_seen_ % config_.metrics_flush_every == 0) {
+      obs::MetricsRegistry::global().write(config_.metrics_out,
+                                           config_.metrics_format);
+    }
+  }
+
+  // Folds a finished cell into the manifest.
+  void record(const SchemeRun& run, const std::string& setting) {
+    if (!manifest_) return;
+    obs::RunAggregates agg;
+    agg.scheme = run.scheme;
+    agg.setting = setting;
+    agg.rounds = run.summary.rounds;
+    agg.sim_time_s = run.summary.total_time_s;
+    agg.wall_seconds = run.wall_seconds;
+    agg.total_gigabytes = run.summary.total_gigabytes;
+    agg.final_accuracy = run.summary.final_accuracy;
+    agg.best_accuracy = run.summary.best_accuracy;
+    agg.time_to_target_s = run.time_to_target_s.value_or(-1.0);
+    for (const auto& rec : run.records) {
+      agg.bytes_up += rec.bytes_up;
+      agg.bytes_down += rec.bytes_down;
+      if (rec.faults) {
+        auto& f = agg.fault_totals;
+        f["selected"] += static_cast<std::uint64_t>(rec.faults->selected);
+        f["crashed"] += static_cast<std::uint64_t>(rec.faults->crashed);
+        f["rejoined"] += static_cast<std::uint64_t>(rec.faults->rejoined);
+        f["resyncs"] += static_cast<std::uint64_t>(rec.faults->resyncs);
+        f["stragglers"] += static_cast<std::uint64_t>(rec.faults->stragglers);
+        f["retries"] += static_cast<std::uint64_t>(rec.faults->retries);
+        f["corrupt"] += static_cast<std::uint64_t>(rec.faults->corrupt);
+        f["deadline_missed"] +=
+            static_cast<std::uint64_t>(rec.faults->deadline_missed);
+        f["unused"] += static_cast<std::uint64_t>(rec.faults->unused);
+        if (!rec.faults->quorum_met) f["stalled_rounds"] += 1;
+      }
+    }
+    if (run.rounds_to_target) {
+      std::uint64_t bytes = 0;
+      const std::size_t upto =
+          std::min(run.records.size(),
+                   static_cast<std::size_t>(*run.rounds_to_target));
+      for (std::size_t i = 0; i < upto; ++i) {
+        bytes += run.records[i].bytes_up + run.records[i].bytes_down;
+      }
+      agg.gigabytes_to_target = static_cast<double>(bytes) / 1e9;
+    }
+    if (monitor_) {
+      agg.alerts_info =
+          monitor_->raised_count(obs::AlertSeverity::kInfo) - alert_base_[0];
+      agg.alerts_warning =
+          monitor_->raised_count(obs::AlertSeverity::kWarning) -
+          alert_base_[1];
+      agg.alerts_critical =
+          monitor_->raised_count(obs::AlertSeverity::kCritical) -
+          alert_base_[2];
+    }
+    manifest_->add_run(std::move(agg));
+  }
+
+  // Stamps the outcome and writes the manifest; call once, after the last
+  // cell (export_observability still writes metrics/trace).
+  void finish(bool ok) {
+    if (!manifest_) return;
+    manifest_->set_outcome(ok ? "ok" : "failed");
+    manifest_->write(config_.manifest_out);
+    std::printf("manifest written to %s\n", config_.manifest_out.c_str());
+  }
+
+ private:
+  BenchConfig config_;
+  std::optional<obs::TelemetryWriter> telemetry_;
+  std::optional<obs::HealthMonitor> monitor_;
+  std::optional<obs::RunManifest> manifest_;
+  int alert_base_[3] = {0, 0, 0};
+  long long rounds_seen_ = 0;
+};
+
 // Runs one scheme end-to-end. When `target` is set, the run still completes
-// all rounds (curves need the tail) but the crossing is recorded.
+// all rounds (curves need the tail) but the crossing is recorded. When an
+// observatory is given, the round loop feeds it (telemetry, health rules,
+// model probe, periodic metrics flush) and the finished cell is folded into
+// its manifest under `setting`.
 inline SchemeRun run_scheme(const BenchConfig& config, const std::string& name,
-                            std::optional<float> target = {}) {
+                            std::optional<float> target = {},
+                            RunObservatory* observatory = nullptr,
+                            const std::string& setting = {}) {
   fl::Simulation sim(simulation_options(config),
                      fl::make_protocol(protocol_config(config, name)));
   SchemeRun run;
   run.scheme = name;
   run.threads = util::ThreadPool::resolve_threads(config.threads);
+  if (observatory) {
+    observatory->begin_scheme(
+        sim, setting.empty() ? name : setting + "/" + name);
+  }
   metrics::ConvergenceTracker tracker(target.value_or(0.999f));
   util::Stopwatch wall;
   for (int r = 0; r < config.rounds; ++r) {
     run.records.push_back(sim.step());
     tracker.observe(run.records.back());
+    if (observatory) observatory->after_round(sim, run.records.back());
   }
   run.wall_seconds = wall.elapsed_seconds();
   run.summary = metrics::summarize(run.records);
@@ -302,6 +548,7 @@ inline SchemeRun run_scheme(const BenchConfig& config, const std::string& name,
     run.time_to_target_s = tracker.time_to_target_s();
     run.rounds_to_target = tracker.rounds_to_target();
   }
+  if (observatory) observatory->record(run, setting);
   return run;
 }
 

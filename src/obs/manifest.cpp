@@ -1,0 +1,125 @@
+#include "obs/manifest.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace fedsu::obs {
+
+namespace {
+
+std::int64_t now_unix_s() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Negative sentinel ("never reached") serializes as null, like NaN does.
+std::string json_optional_positive(double value) {
+  return value < 0.0 ? "null" : json_number(value);
+}
+
+}  // namespace
+
+RunManifest::RunManifest(std::string bench)
+    : bench_(std::move(bench)), start_unix_s_(now_unix_s()) {}
+
+void RunManifest::set_config(
+    std::vector<std::pair<std::string, std::string>> config) {
+  config_ = std::move(config);
+}
+
+void RunManifest::set_environment(RunEnvironment env) { env_ = std::move(env); }
+
+void RunManifest::add_run(RunAggregates aggregates) {
+  runs_.push_back(std::move(aggregates));
+}
+
+void RunManifest::set_outcome(std::string outcome) {
+  outcome_ = std::move(outcome);
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": " << json_quote(kSchema) << ",\n";
+  os << "  \"bench\": " << json_quote(bench_) << ",\n";
+  os << "  \"start_unix_s\": " << start_unix_s_ << ",\n";
+  os << "  \"end_unix_s\": " << now_unix_s() << ",\n";
+  os << "  \"outcome\": " << json_quote(outcome_) << ",\n";
+  os << "  \"environment\": {\n";
+  os << "    \"seed\": " << env_.seed << ",\n";
+  os << "    \"threads\": " << env_.threads << ",\n";
+  os << "    \"isa\": " << json_quote(env_.isa) << ",\n";
+  os << "    \"build\": " << json_quote(env_.build) << ",\n";
+  os << "    \"obs_level\": " << json_quote(env_.obs_level) << "\n";
+  os << "  },\n";
+  os << "  \"config\": {";
+  bool first = true;
+  for (const auto& [name, value] : config_) {
+    os << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": "
+       << json_quote(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"runs\": [";
+  first = true;
+  std::uint64_t total_rounds = 0, total_up = 0, total_down = 0;
+  int total_info = 0, total_warning = 0, total_critical = 0;
+  for (const auto& run : runs_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"scheme\": " << json_quote(run.scheme)
+       << ", \"setting\": " << json_quote(run.setting)
+       << ", \"rounds\": " << run.rounds
+       << ", \"sim_time_s\": " << json_number(run.sim_time_s)
+       << ", \"wall_seconds\": " << json_number(run.wall_seconds)
+       << ", \"total_gigabytes\": " << json_number(run.total_gigabytes)
+       << ", \"final_accuracy\": " << json_number(run.final_accuracy)
+       << ", \"best_accuracy\": " << json_number(run.best_accuracy)
+       << ", \"time_to_target_s\": "
+       << json_optional_positive(run.time_to_target_s)
+       << ", \"gigabytes_to_target\": "
+       << json_optional_positive(run.gigabytes_to_target)
+       << ", \"bytes_up\": " << run.bytes_up
+       << ", \"bytes_down\": " << run.bytes_down;
+    os << ", \"faults\": {";
+    bool ffirst = true;
+    for (const auto& [name, count] : run.fault_totals) {
+      os << (ffirst ? "" : ", ") << json_quote(name) << ": " << count;
+      ffirst = false;
+    }
+    os << "}";
+    os << ", \"alerts\": {\"info\": " << run.alerts_info
+       << ", \"warning\": " << run.alerts_warning
+       << ", \"critical\": " << run.alerts_critical << "}}";
+    total_rounds += static_cast<std::uint64_t>(run.rounds);
+    total_up += run.bytes_up;
+    total_down += run.bytes_down;
+    total_info += run.alerts_info;
+    total_warning += run.alerts_warning;
+    total_critical += run.alerts_critical;
+  }
+  os << (first ? "" : "\n  ") << "],\n";
+  os << "  \"totals\": {\"rounds\": " << total_rounds
+     << ", \"bytes_up\": " << total_up << ", \"bytes_down\": " << total_down
+     << ", \"alerts_info\": " << total_info
+     << ", \"alerts_warning\": " << total_warning
+     << ", \"alerts_critical\": " << total_critical << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+void RunManifest::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("RunManifest: cannot open " + path);
+  out << to_json();
+  if (!out.flush()) {
+    throw std::runtime_error("RunManifest: write failed for " + path);
+  }
+}
+
+}  // namespace fedsu::obs

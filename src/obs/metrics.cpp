@@ -235,6 +235,85 @@ void MetricsRegistry::write_csv(const std::string& path) const {
   }
 }
 
+std::string MetricsRegistry::prometheus_name(const std::string& name) {
+  std::string out = "fedsu_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + json_number(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Prometheus buckets are cumulative counts of observations <= le; the
+    // registry's underflow bin (value < lo) folds into every bucket and the
+    // overflow bin only into +Inf.
+    std::uint64_t cumulative = h.underflow;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      out += prom + "_bucket{le=\"" + json_number(h.bounds[i + 1]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += prom + "_sum " + json_number(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::write_prometheus(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry: cannot open " + path);
+  }
+  out << to_prometheus();
+  if (!out.flush()) {
+    throw std::runtime_error("MetricsRegistry: write failed for " + path);
+  }
+}
+
+namespace {
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
+
+void MetricsRegistry::write(const std::string& path,
+                            const std::string& format) const {
+  std::string resolved = format;
+  if (resolved == "auto") {
+    if (has_suffix(path, ".csv")) resolved = "csv";
+    else if (has_suffix(path, ".prom")) resolved = "prom";
+    else resolved = "json";
+  }
+  if (resolved == "json") return write_json(path);
+  if (resolved == "csv") return write_csv(path);
+  if (resolved == "prom" || resolved == "prometheus") {
+    return write_prometheus(path);
+  }
+  throw std::invalid_argument(
+      "MetricsRegistry: metrics format must be auto | json | csv | prom, "
+      "got '" + format + "'");
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

@@ -114,6 +114,21 @@ class MetricsRegistry {
   // Long format: metric,kind,key,value — one row per counter/gauge and per
   // histogram bucket, greppable and plottable without a JSON parser.
   void write_csv(const std::string& path) const;
+  // Prometheus text exposition format (version 0.0.4): names are prefixed
+  // `fedsu_` with dots/dashes mapped to underscores; histograms export
+  // cumulative `le` buckets plus `_sum`/`_count`, so a long-running bench's
+  // snapshot file is directly scrapeable (e.g. via node_exporter's textfile
+  // collector).
+  std::string to_prometheus() const;
+  void write_prometheus(const std::string& path) const;
+  // Dispatches on `format`: "json" | "csv" | "prom" (also accepted:
+  // "prometheus"). "auto" picks by path suffix (.csv / .prom / else JSON).
+  // Throws std::invalid_argument on an unknown format name.
+  void write(const std::string& path, const std::string& format) const;
+
+  // The metric name as Prometheus exposes it (exposed for the validator and
+  // tests): `fedsu_` + name with every non-[a-zA-Z0-9_] mapped to '_'.
+  static std::string prometheus_name(const std::string& name);
 
   // Process-wide registry the runtime instrumentation records into.
   static MetricsRegistry& global();

@@ -28,11 +28,12 @@ bool trace_enabled() {
 }
 
 Level parse_level(const std::string& text) {
-  if (text == "off") return Level::kOff;
-  if (text == "metrics") return Level::kMetrics;
-  if (text == "trace") return Level::kTrace;
-  throw std::invalid_argument("obs level must be off | metrics | trace, got '" +
-                              text + "'");
+  if (text == "off" || text == "0") return Level::kOff;
+  if (text == "metrics" || text == "1") return Level::kMetrics;
+  if (text == "trace" || text == "2") return Level::kTrace;
+  throw std::invalid_argument(
+      "obs level must be off | metrics | trace (or 0 | 1 | 2), got '" + text +
+      "'");
 }
 
 const char* level_name(Level level) {

@@ -26,8 +26,9 @@ void set_level(Level level);
 bool metrics_enabled();
 bool trace_enabled();
 
-// Parses "off" | "metrics" | "trace"; throws std::invalid_argument on
-// anything else so flag typos fail loudly.
+// Parses "off" | "metrics" | "trace" (numeric "0" | "1" | "2" also
+// accepted); throws std::invalid_argument on anything else so flag typos
+// fail loudly.
 Level parse_level(const std::string& text);
 const char* level_name(Level level);
 

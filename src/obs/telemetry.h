@@ -10,6 +10,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "fl/simulation.h"
 
@@ -22,6 +23,10 @@ class TelemetryWriter {
   TelemetryWriter(const std::string& path, std::string protocol);
 
   void append(const fl::RoundRecord& record);
+
+  // Relabels subsequent records; benches that run several schemes through
+  // one file switch the label per scheme instead of reopening the file.
+  void set_protocol(std::string protocol) { protocol_ = std::move(protocol); }
 
   // Installable hook for fl::Simulation::set_round_hook.
   std::function<void(const fl::RoundRecord&)> hook();

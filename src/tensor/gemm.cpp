@@ -274,6 +274,7 @@ struct MicroKernels {
   MicroKernelFn add;
   MicroKernelDirectFn direct_overwrite;
   MicroKernelDirectFn direct_add;
+  const char* isa;
 };
 
 MicroKernels select_micro_kernels() {
@@ -282,15 +283,18 @@ MicroKernels select_micro_kernels() {
   if (__builtin_cpu_supports("avx512f") &&
       __builtin_cpu_supports("avx512vl")) {
     return {micro_kernel_avx512_ov, micro_kernel_avx512_add,
-            micro_kernel_direct_avx512_ov, micro_kernel_direct_avx512_add};
+            micro_kernel_direct_avx512_ov, micro_kernel_direct_avx512_add,
+            "avx512vl"};
   }
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
     return {micro_kernel_avx2_ov, micro_kernel_avx2_add,
-            micro_kernel_direct_avx2_ov, micro_kernel_direct_avx2_add};
+            micro_kernel_direct_avx2_ov, micro_kernel_direct_avx2_add,
+            "avx2-fma"};
   }
 #endif
   return {micro_kernel_generic_ov, micro_kernel_generic_add,
-          micro_kernel_direct_generic_ov, micro_kernel_direct_generic_add};
+          micro_kernel_direct_generic_ov, micro_kernel_direct_generic_add,
+          "baseline"};
 }
 
 // Resolved once before main(); every thread reads the same two pointers.
@@ -423,5 +427,7 @@ void sgemm(Variant variant, int m, int n, int k, const float* a,
   }
   sgemm_rows(variant, 0, m, m, n, k, a, b, c, accumulate);
 }
+
+const char* isa_name() { return kMicroKernels.isa; }
 
 }  // namespace fedsu::tensor::gemm

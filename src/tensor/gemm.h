@@ -65,4 +65,10 @@ void sgemm_rows(Variant variant, int m_begin, int m_end, int m, int n, int k,
                 const float* a, const float* b, float* c,
                 Accumulate accumulate);
 
+// The micro-kernel clone the process-wide dispatch resolved to:
+// "avx512vl" | "avx2-fma" | "baseline". Recorded in run manifests so a
+// result file names the kernel generation that produced it (§5b scopes
+// determinism per ISA).
+const char* isa_name();
+
 }  // namespace fedsu::tensor::gemm

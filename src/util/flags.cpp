@@ -135,6 +135,48 @@ bool Flags::get_bool(const std::string& name) const {
   return find(name, Type::kBool).bool_value;
 }
 
+std::vector<std::pair<std::string, std::string>> Flags::resolved() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    std::string value;
+    switch (e.type) {
+      case Type::kInt:
+        value = std::to_string(e.int_value);
+        break;
+      case Type::kDouble: {
+        // Shortest round-trippable text, locale-independent (matches the
+        // JSON number formatting the manifest embeds this in).
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", e.double_value);
+        double probe = 0.0;
+        std::sscanf(buf, "%lf", &probe);
+        for (int precision = 1; precision < 17; ++precision) {
+          char shorter[64];
+          std::snprintf(shorter, sizeof(shorter), "%.*g", precision,
+                        e.double_value);
+          std::sscanf(shorter, "%lf", &probe);
+          if (probe == e.double_value) {
+            std::snprintf(buf, sizeof(buf), "%s", shorter);
+            break;
+          }
+        }
+        value = buf;
+        break;
+      }
+      case Type::kString:
+        value = e.string_value;
+        break;
+      case Type::kBool:
+        value = e.bool_value ? "true" : "false";
+        break;
+    }
+    out.emplace_back(name, std::move(value));
+  }
+  return out;
+}
+
 std::string Flags::usage(const std::string& program) const {
   std::ostringstream os;
   os << "Usage: " << program << " [flags]\n";

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fedsu::util {
@@ -30,6 +31,11 @@ class Flags {
   bool get_bool(const std::string& name) const;
 
   std::string usage(const std::string& program) const;
+
+  // Every flag with its resolved value rendered as text, in registration
+  // order — the config block a run manifest records so any run can be
+  // replayed from its manifest alone.
+  std::vector<std::pair<std::string, std::string>> resolved() const;
 
  private:
   enum class Type { kInt, kDouble, kString, kBool };

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -14,7 +15,9 @@
 
 #include "fl/protocol_factory.h"
 #include "fl/simulation.h"
+#include "obs/health.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/telemetry.h"
@@ -306,6 +309,408 @@ TEST(Telemetry, BytesMatchSerializedPayload) {
   EXPECT_EQ(record.bytes_up,
             per_client * static_cast<std::size_t>(record.num_participants));
   EXPECT_EQ(record.bytes_down, record.bytes_up);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  obs::MetricsRegistry registry;
+  registry.counter("fl.round.count").add(3);
+  registry.gauge("async/buffer.fill").set(0.5);
+  obs::HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 4.0;
+  options.buckets = 4;
+  obs::Histogram& hist = registry.histogram("round.time_s", options);
+  hist.record(-1.0);  // underflow: folds into every bucket
+  hist.record(0.5);
+  hist.record(2.5);
+  hist.record(99.0);  // overflow: +Inf only
+  const std::string text = registry.to_prometheus();
+
+  EXPECT_EQ(obs::MetricsRegistry::prometheus_name("async/buffer.fill"),
+            "fedsu_async_buffer_fill");
+  EXPECT_NE(text.find("# TYPE fedsu_fl_round_count counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedsu_fl_round_count 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fedsu_async_buffer_fill gauge"),
+            std::string::npos);
+  // Buckets are cumulative: le="1" holds underflow + the 0.5 sample; the
+  // overflow sample appears only in +Inf; _count covers all four.
+  EXPECT_NE(text.find("fedsu_round_time_s_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedsu_round_time_s_bucket{le=\"4\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedsu_round_time_s_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedsu_round_time_s_count 4"), std::string::npos);
+}
+
+fl::RoundRecord health_record(int round, double loss) {
+  fl::RoundRecord r;
+  r.round = round;
+  r.train_loss = loss;
+  r.num_participants = 4;
+  r.bytes_up = 100;
+  r.bytes_down = 100;
+  return r;
+}
+
+// Convenience: all alerts of one rule, in emission order.
+std::vector<obs::Alert> alerts_for(const obs::HealthMonitor& monitor,
+                                   const std::string& rule) {
+  std::vector<obs::Alert> out;
+  for (const obs::Alert& a : monitor.alerts()) {
+    if (a.rule == rule) out.push_back(a);
+  }
+  return out;
+}
+
+TEST(Health, NonFiniteLossIsEdgeTriggered) {
+  obs::HealthMonitor monitor;
+  monitor.begin_run("fedsu", 0);
+  monitor.observe_round(health_record(0, 1.0));
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_TRUE(monitor.alerts().empty());
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  monitor.observe_round(health_record(1, nan));
+  EXPECT_FALSE(monitor.healthy());
+  monitor.observe_round(health_record(2, nan));  // persists: no second edge
+  monitor.observe_round(health_record(3, 0.9));  // recovers: one clear edge
+
+  const auto edges = alerts_for(monitor, "non_finite_loss");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].round, 1);
+  EXPECT_EQ(edges[0].severity, obs::AlertSeverity::kCritical);
+  EXPECT_FALSE(edges[1].raised);
+  EXPECT_EQ(edges[1].round, 3);
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_EQ(monitor.raised_count(obs::AlertSeverity::kCritical), 1);
+}
+
+TEST(Health, PlateauRaisesAndImprovementClears) {
+  obs::HealthOptions options;
+  options.plateau_window = 3;
+  obs::HealthMonitor monitor(options);
+  monitor.begin_run("fedsu", 0);
+  monitor.observe_round(health_record(0, 1.0));
+  for (int r = 1; r <= 3; ++r) {  // three stale rounds fill the window
+    monitor.observe_round(health_record(r, 1.0));
+  }
+  monitor.observe_round(health_record(4, 0.5));  // real improvement clears
+
+  const auto edges = alerts_for(monitor, "loss_plateau");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].round, 3);
+  EXPECT_EQ(edges[0].severity, obs::AlertSeverity::kWarning);
+  EXPECT_FALSE(edges[1].raised);
+  EXPECT_EQ(edges[1].round, 4);
+}
+
+TEST(Health, DivergenceNeedsAFullWindowAndIsCritical) {
+  obs::HealthOptions options;
+  options.divergence_window = 2;
+  obs::HealthMonitor monitor(options);
+  monitor.begin_run("fedsu", 0);
+  monitor.observe_round(health_record(0, 1.0));  // best = 1.0
+  monitor.observe_round(health_record(1, 4.0));  // streak 1: not yet
+  EXPECT_TRUE(alerts_for(monitor, "loss_divergence").empty());
+  monitor.observe_round(health_record(2, 4.0));  // streak 2: raised
+  EXPECT_FALSE(monitor.healthy());
+  monitor.observe_round(health_record(3, 1.0));  // back near best: cleared
+  EXPECT_TRUE(monitor.healthy());
+
+  const auto edges = alerts_for(monitor, "loss_divergence");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].severity, obs::AlertSeverity::kCritical);
+  EXPECT_EQ(edges[0].round, 2);
+  EXPECT_EQ(edges[1].round, 3);
+}
+
+TEST(Health, FallbackStormScalesWithModelSize) {
+  obs::HealthOptions options;
+  options.fallback_storm_window = 2;  // fraction 0.05 x 1000 = 50 scalars
+  obs::HealthMonitor monitor(options);
+  monitor.begin_run("fedsu", 1000);
+  fl::RoundRecord storm = health_record(0, 1.0);
+  storm.fallback_syncs = 100;
+  monitor.observe_round(storm);
+  storm.round = 1;
+  monitor.observe_round(storm);  // second consecutive burst: raised
+  fl::RoundRecord calm = health_record(2, 1.0);
+  monitor.observe_round(calm);  // streak resets: cleared
+
+  const auto edges = alerts_for(monitor, "fallback_storm");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].round, 1);
+  EXPECT_DOUBLE_EQ(edges[0].threshold, 50.0);
+  EXPECT_FALSE(edges[1].raised);
+}
+
+TEST(Health, SpeculationOscillationStorm) {
+  obs::HealthMonitor monitor;  // osc_window 6, 3 flips of >= 0.05
+  monitor.begin_run("fedsu", 0);
+  // Promote/demote flapping: the speculated fraction ping-pongs.
+  const double flapping[] = {0.2, 0.8, 0.2, 0.8, 0.2};
+  int round = 0;
+  for (const double spec : flapping) {
+    fl::RoundRecord r = health_record(round++, 1.0);
+    r.speculated_fraction = spec;
+    monitor.observe_round(r);
+  }
+  auto edges = alerts_for(monitor, "speculation_oscillation");
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].round, 4);  // third reversal lands on the fifth round
+
+  // A steady fraction slides the flaps out of the window and clears.
+  for (int i = 0; i < 8; ++i) {
+    fl::RoundRecord r = health_record(round++, 1.0);
+    r.speculated_fraction = 0.5;
+    monitor.observe_round(r);
+  }
+  edges = alerts_for(monitor, "speculation_oscillation");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_FALSE(edges[1].raised);
+}
+
+TEST(Health, StragglerDriftOverFaultWindow) {
+  obs::HealthOptions options;
+  options.straggler_window = 2;  // fraction threshold stays 0.5
+  obs::HealthMonitor monitor(options);
+  monitor.begin_run("fedsu", 0);
+  for (int r = 0; r < 2; ++r) {
+    fl::RoundRecord rec = health_record(r, 1.0);
+    rec.faults.emplace();
+    rec.faults->selected = 10;
+    rec.faults->stragglers = 8;
+    monitor.observe_round(rec);
+  }
+  fl::RoundRecord rec = health_record(2, 1.0);
+  rec.faults.emplace();
+  rec.faults->selected = 10;  // windowed fraction drops to 8/20
+  monitor.observe_round(rec);
+
+  const auto edges = alerts_for(monitor, "straggler_drift");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].round, 1);  // fires only once the window is full
+  EXPECT_DOUBLE_EQ(edges[0].value, 0.8);
+  EXPECT_FALSE(edges[1].raised);
+}
+
+TEST(Health, StalenessBlowupAndByteBudget) {
+  obs::HealthOptions options;
+  options.staleness_max = 2;
+  options.byte_budget_per_round = 150;
+  obs::HealthMonitor monitor(options);
+  monitor.begin_run("async/fedsu", 0);
+  fl::RoundRecord hot = health_record(0, 1.0);  // 200 bytes > 150 budget
+  hot.async.emplace();
+  hot.async->max_staleness = 5;
+  monitor.observe_round(hot);
+  fl::RoundRecord cool = health_record(1, 1.0);
+  cool.async.emplace();
+  cool.async->max_staleness = 1;
+  cool.bytes_up = cool.bytes_down = 50;
+  monitor.observe_round(cool);
+
+  const auto staleness = alerts_for(monitor, "staleness_blowup");
+  const auto budget = alerts_for(monitor, "byte_budget_overrun");
+  ASSERT_EQ(staleness.size(), 2u);
+  ASSERT_EQ(budget.size(), 2u);
+  EXPECT_TRUE(staleness[0].raised);
+  EXPECT_DOUBLE_EQ(staleness[0].value, 5.0);
+  EXPECT_FALSE(staleness[1].raised);
+  EXPECT_TRUE(budget[0].raised);
+  EXPECT_DOUBLE_EQ(budget[0].value, 200.0);
+  EXPECT_FALSE(budget[1].raised);
+  EXPECT_EQ(monitor.raised_count(obs::AlertSeverity::kWarning), 2);
+}
+
+TEST(Health, ModelProbeCatchesNaNInjection) {
+  obs::HealthMonitor monitor;
+  monitor.begin_run("fedsu", 0);
+  std::vector<float> state{1.0f, 2.0f, 3.0f};
+  monitor.observe_model(0, state);
+  EXPECT_TRUE(monitor.alerts().empty());
+
+  state[1] = std::numeric_limits<float>::quiet_NaN();
+  monitor.observe_model(1, state);
+  EXPECT_FALSE(monitor.healthy());
+  state[1] = 2.0f;
+  // One probe after recovery the update norm is still NaN-vs-NaN; the rule
+  // clears on the next fully finite delta.
+  monitor.observe_model(2, state);
+  monitor.observe_model(3, state);
+  EXPECT_TRUE(monitor.healthy());
+
+  const auto edges = alerts_for(monitor, "non_finite_update");
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].severity, obs::AlertSeverity::kCritical);
+  EXPECT_EQ(edges[0].round, 1);
+  EXPECT_FALSE(edges[1].raised);
+  EXPECT_EQ(edges[1].round, 3);
+}
+
+TEST(Health, RuleStateResetsAcrossRuns) {
+  obs::HealthMonitor monitor;
+  monitor.begin_run("fedsu", 0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  monitor.observe_round(health_record(0, nan));
+  EXPECT_FALSE(monitor.healthy());
+  // A new segment must not inherit the active edge: no spurious "cleared"
+  // alert for the next scheme, and health is fresh.
+  monitor.begin_run("fedavg", 0);
+  EXPECT_TRUE(monitor.healthy());
+  monitor.observe_round(health_record(0, 1.0));
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].scheme, "fedsu");
+}
+
+TEST(Health, AlertsJsonlMatchesProductionEncoding) {
+  const std::string path = ::testing::TempDir() + "/fedsu_obs_alerts.jsonl";
+  obs::HealthMonitor monitor;
+  monitor.open_alerts_file(path);
+  monitor.begin_run("baseline/fedsu", 0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  monitor.observe_round(health_record(0, nan));
+  monitor.observe_round(health_record(1, 1.0));
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(rows, monitor.alerts().size());
+    EXPECT_EQ(line, obs::HealthMonitor::to_json_line(monitor.alerts()[rows]));
+    const obs::JsonValue parsed = obs::json_parse(line);
+    EXPECT_EQ(parsed.at("scheme").as_string(), "baseline/fedsu");
+    EXPECT_EQ(parsed.at("rule").as_string(), "non_finite_loss");
+    EXPECT_EQ(parsed.at("severity").as_string(), "critical");
+    EXPECT_EQ(parsed.at("state").as_string(), rows == 0 ? "raised" : "cleared");
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+  std::remove(path.c_str());
+}
+
+// Full-stack integration: a buffered-async run under 100% straggler faults,
+// monitored through the round hook, raises the expected alert rules.
+TEST(Health, FaultsAndAsyncIntegrationRaisesAlerts) {
+  fl::SimulationOptions options = tiny_options();
+  options.async.enabled = true;
+  options.async.buffer_k = 2;
+  options.faults.straggler_probability = 1.0;
+
+  obs::HealthOptions health;
+  health.byte_budget_per_round = 1;  // every cycle overruns
+  health.straggler_fraction = 0.25;
+  health.straggler_window = 2;
+  obs::HealthMonitor monitor(health);
+
+  fl::Simulation sim(options, proto_for("fedsu", options.num_clients));
+  monitor.begin_run("async/fedsu", sim.model_state_size());
+  sim.set_round_hook(monitor.hook());
+  for (int cycle = 0; cycle < 6; ++cycle) sim.step();
+
+  EXPECT_FALSE(alerts_for(monitor, "byte_budget_overrun").empty());
+  EXPECT_FALSE(alerts_for(monitor, "straggler_drift").empty());
+  EXPECT_GE(monitor.raised_count(obs::AlertSeverity::kWarning), 2);
+  EXPECT_TRUE(monitor.healthy());  // noisy, but not critical
+}
+
+// The §5b determinism contract for the monitor: observing every round AND
+// probing the model each round must not perturb the weights — sync path.
+TEST(Health, MonitoredSyncRunIsBitwiseIdenticalToUnmonitored) {
+  fl::Simulation plain(tiny_options(), proto_for("fedsu", 4));
+  plain.run(3);
+
+  obs::HealthMonitor monitor;
+  fl::Simulation watched(tiny_options(), proto_for("fedsu", 4));
+  monitor.begin_run("fedsu", watched.model_state_size());
+  watched.set_round_hook(monitor.hook());
+  for (int round = 0; round < 3; ++round) {
+    watched.step();
+    monitor.observe_model(round, watched.global_state());
+  }
+  EXPECT_EQ(plain.global_state(), watched.global_state());
+}
+
+// Same contract on the buffered-async path (per-cycle records).
+TEST(Health, MonitoredAsyncRunIsBitwiseIdenticalToUnmonitored) {
+  fl::SimulationOptions options = tiny_options();
+  options.async.enabled = true;
+  options.async.buffer_k = 2;
+  fl::Simulation plain(options, proto_for("fedsu", options.num_clients));
+  for (int cycle = 0; cycle < 3; ++cycle) plain.step();
+
+  obs::HealthMonitor monitor;
+  fl::Simulation watched(options, proto_for("fedsu", options.num_clients));
+  monitor.begin_run("async/fedsu", watched.model_state_size());
+  watched.set_round_hook(monitor.hook());
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    watched.step();
+    monitor.observe_model(cycle, watched.global_state());
+  }
+  EXPECT_EQ(plain.global_state(), watched.global_state());
+}
+
+TEST(Manifest, SchemaRoundTripsAndTotalsSum) {
+  obs::RunManifest manifest("test_bench");
+  obs::RunEnvironment env;
+  env.seed = 7;
+  env.threads = 2;
+  env.isa = "avx2-fma";
+  env.build = "release";
+  env.obs_level = "metrics";
+  manifest.set_environment(env);
+  manifest.set_config({{"rounds", "6"}, {"scheme", "fedsu"}});
+
+  obs::RunAggregates cell;
+  cell.scheme = "fedsu";
+  cell.setting = "baseline";
+  cell.rounds = 6;
+  cell.bytes_up = 100;
+  cell.bytes_down = 50;
+  cell.final_accuracy = 0.5;
+  cell.best_accuracy = 0.6;
+  cell.alerts_warning = 2;
+  cell.fault_totals["crashed"] = 1;
+  manifest.add_run(cell);
+  obs::RunAggregates reached = cell;
+  reached.scheme = "fedavg";
+  reached.time_to_target_s = 12.5;
+  reached.gigabytes_to_target = 0.25;
+  reached.alerts_critical = 1;
+  manifest.add_run(reached);
+  manifest.set_outcome("ok");
+
+  const obs::JsonValue root = obs::json_parse(manifest.to_json());
+  EXPECT_EQ(root.at("schema").as_string(), obs::RunManifest::kSchema);
+  EXPECT_EQ(root.at("outcome").as_string(), "ok");
+  EXPECT_GE(root.at("end_unix_s").as_number(),
+            root.at("start_unix_s").as_number());
+  EXPECT_EQ(root.at("environment").at("isa").as_string(), "avx2-fma");
+  EXPECT_EQ(root.at("config").at("scheme").as_string(), "fedsu");
+
+  const auto& runs = root.at("runs").as_array();
+  ASSERT_EQ(runs.size(), 2u);
+  // Negative to-target sentinels serialize as null ("never reached").
+  EXPECT_TRUE(runs[0].at("time_to_target_s").is_null());
+  EXPECT_TRUE(runs[0].at("gigabytes_to_target").is_null());
+  EXPECT_DOUBLE_EQ(runs[1].at("time_to_target_s").as_number(), 12.5);
+  EXPECT_EQ(runs[0].at("faults").at("crashed").as_number(), 1.0);
+  EXPECT_EQ(runs[0].at("alerts").at("warning").as_number(), 2.0);
+
+  const obs::JsonValue& totals = root.at("totals");
+  EXPECT_EQ(totals.at("rounds").as_number(), 12.0);
+  EXPECT_EQ(totals.at("bytes_up").as_number(), 200.0);
+  EXPECT_EQ(totals.at("bytes_down").as_number(), 100.0);
+  EXPECT_EQ(totals.at("alerts_warning").as_number(), 4.0);
+  EXPECT_EQ(totals.at("alerts_critical").as_number(), 1.0);
 }
 
 // The determinism contract: instrumentation only observes. A traced run

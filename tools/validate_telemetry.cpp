@@ -1,22 +1,36 @@
 // Validates the observability outputs of a run — the CI telemetry gate.
 //
 //   ./validate_telemetry --trace trace.json --metrics metrics.json \
-//       --telemetry telemetry.jsonl [--expect-rounds N]
+//       --telemetry telemetry.jsonl --alerts alerts.jsonl \
+//       --manifest manifest.json [--expect-rounds N]
 //
 // Checks, per file (each optional; pass what the run produced):
 //   * trace: well-formed chrome://tracing JSON with >= 4 distinct span
 //     names across >= 2 distinct threads, every event with ts/dur >= 0;
 //   * metrics: fl.round.count and fl.round.bytes_up counters present and
 //     positive;
-//   * telemetry: every JSONL line parses, rounds are consecutive,
-//     bytes_up > 0, speculated_fraction in [0,1], and the per-phase wall
-//     durations sum to at most the round's total (within 10% slack for
-//     unattributed glue code).
+//   * telemetry: every JSONL line parses, rounds are consecutive within a
+//     scheme segment (a reset to 0 starts the next segment in multi-cell
+//     bench files), bytes_up > 0, speculated_fraction in [0,1], and the
+//     per-phase wall durations sum to at most the round's total (within
+//     10% slack for unattributed glue code);
+//   * alerts: every line parses against the obs::HealthMonitor schema
+//     (severity enum, raised|cleared state), rounds are monotone per
+//     scheme, and every "cleared" follows a "raised" of the same rule;
+//   * manifest: obs::RunManifest schema (environment, config, per-cell
+//     aggregates), with totals equal to the sums over the cells.
+//
+// When both the manifest and the telemetry / alerts files of the SAME run
+// are given, their aggregates are cross-reconciled: manifest total rounds
+// and bytes must equal the telemetry sums, and manifest alert totals must
+// equal the raised edges in the alert stream.
 //
 // Exits 0 when every requested check passes, 1 otherwise — no Python
 // needed in CI.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -115,11 +129,20 @@ void validate_metrics(const std::string& path) {
                   : 0);
 }
 
-void validate_telemetry(const std::string& path, int expect_rounds) {
+// Telemetry aggregates handed back for manifest cross-reconciliation.
+struct TelemetryTotals {
+  int rows = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+};
+
+TelemetryTotals validate_telemetry(const std::string& path,
+                                   int expect_rounds) {
+  TelemetryTotals totals;
   std::ifstream in(path);
   if (!in) {
     fail("cannot open " + path);
-    return;
+    return totals;
   }
   std::string line;
   int rows = 0;
@@ -131,13 +154,19 @@ void validate_telemetry(const std::string& path, int expect_rounds) {
       record = fedsu::obs::json_parse(line);
     } catch (const std::exception& e) {
       fail(path + " line " + std::to_string(rows + 1) + ": " + e.what());
-      return;
+      return totals;
     }
     ++rows;
     const int round = static_cast<int>(record.at("round").as_number());
-    check(rows == 1 || round == prev_round + 1,
+    // A reset to round 0 starts the next (setting, scheme) segment of a
+    // multi-cell bench file; within a segment rounds are consecutive.
+    check(rows == 1 || round == prev_round + 1 || round == 0,
           path + ": rounds not consecutive at row " + std::to_string(rows));
     prev_round = round;
+    totals.bytes_up +=
+        static_cast<std::uint64_t>(record.at("bytes_up").as_number());
+    totals.bytes_down +=
+        static_cast<std::uint64_t>(record.at("bytes_down").as_number());
     const double participants = record.at("participants").as_number();
     const double spec = record.at("speculated_fraction").as_number();
     if (participants > 0.0) {
@@ -222,6 +251,187 @@ void validate_telemetry(const std::string& path, int expect_rounds) {
               " rounds, got " + std::to_string(rows));
   }
   std::printf("%s: %d telemetry rows\n", path.c_str(), rows);
+  totals.rows = rows;
+  return totals;
+}
+
+// Raised-edge counts per severity, for manifest cross-reconciliation.
+struct AlertTotals {
+  bool validated = false;
+  std::uint64_t info = 0;
+  std::uint64_t warning = 0;
+  std::uint64_t critical = 0;
+};
+
+AlertTotals validate_alerts(const std::string& path) {
+  AlertTotals totals;
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot open " + path);
+    return totals;
+  }
+  std::string line;
+  int rows = 0;
+  // Active (raised, not yet cleared) rules and the last round seen, per
+  // scheme label — edges must alternate and rounds must be monotone.
+  std::map<std::string, std::set<std::string>> active;
+  std::map<std::string, int> last_round;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue alert;
+    try {
+      alert = fedsu::obs::json_parse(line);
+    } catch (const std::exception& e) {
+      fail(path + " line " + std::to_string(rows + 1) + ": " + e.what());
+      return totals;
+    }
+    ++rows;
+    const std::string where = path + " line " + std::to_string(rows);
+    const std::string scheme = alert.at("scheme").as_string();
+    const std::string rule = alert.at("rule").as_string();
+    check(!rule.empty(), where + ": empty rule");
+    const int round = static_cast<int>(alert.at("round").as_number());
+    check(round >= 0, where + ": negative round");
+    auto [it, fresh] = last_round.emplace(scheme, round);
+    check(fresh || round >= it->second,
+          where + ": rounds not monotone within scheme '" + scheme + "'");
+    it->second = round;
+    const std::string severity = alert.at("severity").as_string();
+    if (severity == "info") ++totals.info;
+    else if (severity == "warning") ++totals.warning;
+    else if (severity == "critical") ++totals.critical;
+    else fail(where + ": unknown severity '" + severity + "'");
+    const std::string state = alert.at("state").as_string();
+    std::set<std::string>& raised = active[scheme];
+    if (state == "raised") {
+      check(raised.insert(rule).second,
+            where + ": rule '" + rule + "' raised twice without clearing");
+    } else if (state == "cleared") {
+      check(raised.erase(rule) == 1,
+            where + ": rule '" + rule + "' cleared without being raised");
+      // A cleared edge is not a raised alert; count raised edges only.
+      if (severity == "info") --totals.info;
+      else if (severity == "warning") --totals.warning;
+      else if (severity == "critical") --totals.critical;
+    } else {
+      fail(where + ": state must be raised | cleared, got '" + state + "'");
+    }
+    alert.at("message").as_string();
+    check(alert.has("value") && alert.has("threshold"),
+          where + ": missing value/threshold");
+  }
+  std::printf("%s: %d alert edges (%llu info / %llu warning / %llu critical "
+              "raised)\n",
+              path.c_str(), rows,
+              static_cast<unsigned long long>(totals.info),
+              static_cast<unsigned long long>(totals.warning),
+              static_cast<unsigned long long>(totals.critical));
+  totals.validated = true;
+  return totals;
+}
+
+// Manifest totals handed back for cross-reconciliation.
+struct ManifestTotals {
+  bool validated = false;
+  std::uint64_t rounds = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t alerts_info = 0;
+  std::uint64_t alerts_warning = 0;
+  std::uint64_t alerts_critical = 0;
+};
+
+ManifestTotals validate_manifest(const std::string& path) {
+  ManifestTotals totals;
+  const std::string text = read_file(path);
+  if (text.empty()) return totals;
+  JsonValue root;
+  try {
+    root = fedsu::obs::json_parse(text);
+  } catch (const std::exception& e) {
+    fail(path + ": " + e.what());
+    return totals;
+  }
+  try {
+    check(root.at("schema").as_string() == "fedsu.run_manifest.v1",
+          path + ": unexpected schema tag");
+    check(!root.at("bench").as_string().empty(), path + ": empty bench name");
+    const double start = root.at("start_unix_s").as_number();
+    const double end = root.at("end_unix_s").as_number();
+    check(start > 0 && end >= start, path + ": start/end times inconsistent");
+    const std::string outcome = root.at("outcome").as_string();
+    check(outcome == "ok" || outcome == "failed" || outcome == "running",
+          path + ": outcome must be ok | failed | running");
+    const JsonValue& env = root.at("environment");
+    check(env.at("threads").as_number() >= 1, path + ": threads < 1");
+    check(!env.at("isa").as_string().empty(), path + ": empty isa");
+    const std::string build = env.at("build").as_string();
+    check(build == "release" || build == "debug",
+          path + ": build must be release | debug");
+    const std::string level = env.at("obs_level").as_string();
+    check(level == "off" || level == "metrics" || level == "trace",
+          path + ": bad obs_level");
+    root.at("config").as_object();  // present and an object
+    const auto& runs = root.at("runs").as_array();
+    check(!runs.empty(), path + ": no runs recorded");
+    for (const JsonValue& run : runs) {
+      const std::string scheme = run.at("scheme").as_string();
+      check(!scheme.empty(), path + ": run with empty scheme");
+      const double rounds = run.at("rounds").as_number();
+      check(rounds >= 0, path + ": negative rounds");
+      for (const char* key : {"final_accuracy", "best_accuracy"}) {
+        const double acc = run.at(key).as_number();
+        check(acc >= 0.0 && acc <= 1.0,
+              path + ": " + key + " outside [0,1] for " + scheme);
+      }
+      // time/gigabytes-to-target are null when the target was not reached.
+      for (const char* key : {"time_to_target_s", "gigabytes_to_target"}) {
+        const JsonValue& v = run.at(key);
+        check(v.is_null() || v.as_number() >= 0.0,
+              path + ": negative " + key + " for " + scheme);
+      }
+      run.at("faults").as_object();
+      const JsonValue& alerts = run.at("alerts");
+      totals.rounds += static_cast<std::uint64_t>(rounds);
+      totals.bytes_up +=
+          static_cast<std::uint64_t>(run.at("bytes_up").as_number());
+      totals.bytes_down +=
+          static_cast<std::uint64_t>(run.at("bytes_down").as_number());
+      totals.alerts_info +=
+          static_cast<std::uint64_t>(alerts.at("info").as_number());
+      totals.alerts_warning +=
+          static_cast<std::uint64_t>(alerts.at("warning").as_number());
+      totals.alerts_critical +=
+          static_cast<std::uint64_t>(alerts.at("critical").as_number());
+    }
+    // The embedded totals must equal the sums over the cells.
+    const JsonValue& t = root.at("totals");
+    check(static_cast<std::uint64_t>(t.at("rounds").as_number()) ==
+              totals.rounds,
+          path + ": totals.rounds does not sum over runs");
+    check(static_cast<std::uint64_t>(t.at("bytes_up").as_number()) ==
+              totals.bytes_up,
+          path + ": totals.bytes_up does not sum over runs");
+    check(static_cast<std::uint64_t>(t.at("bytes_down").as_number()) ==
+              totals.bytes_down,
+          path + ": totals.bytes_down does not sum over runs");
+    check(static_cast<std::uint64_t>(t.at("alerts_info").as_number()) ==
+                  totals.alerts_info &&
+              static_cast<std::uint64_t>(
+                  t.at("alerts_warning").as_number()) ==
+                  totals.alerts_warning &&
+              static_cast<std::uint64_t>(
+                  t.at("alerts_critical").as_number()) ==
+                  totals.alerts_critical,
+          path + ": alert totals do not sum over runs");
+    std::printf("%s: %zu runs, %llu rounds, outcome %s\n", path.c_str(),
+                runs.size(), static_cast<unsigned long long>(totals.rounds),
+                outcome.c_str());
+    totals.validated = true;
+  } catch (const std::exception& e) {
+    fail(path + ": " + e.what());
+  }
+  return totals;
 }
 
 }  // namespace
@@ -231,6 +441,8 @@ int main(int argc, char** argv) {
   flags.add_string("trace", "", "chrome://tracing JSON to validate")
       .add_string("metrics", "", "metrics registry JSON to validate")
       .add_string("telemetry", "", "per-round telemetry JSONL to validate")
+      .add_string("alerts", "", "health-monitor alerts JSONL to validate")
+      .add_string("manifest", "", "run manifest JSON to validate")
       .add_int("expect-rounds", 0,
                "expected telemetry row count (0 = any non-zero)");
   if (!flags.parse(argc, argv)) return 0;
@@ -238,16 +450,41 @@ int main(int argc, char** argv) {
   const std::string trace = flags.get_string("trace");
   const std::string metrics = flags.get_string("metrics");
   const std::string telemetry = flags.get_string("telemetry");
-  if (trace.empty() && metrics.empty() && telemetry.empty()) {
+  const std::string alerts = flags.get_string("alerts");
+  const std::string manifest = flags.get_string("manifest");
+  if (trace.empty() && metrics.empty() && telemetry.empty() &&
+      alerts.empty() && manifest.empty()) {
     std::fprintf(stderr, "nothing to validate (pass --trace / --metrics / "
-                         "--telemetry)\n");
+                         "--telemetry / --alerts / --manifest)\n");
     return 1;
   }
   if (!trace.empty()) validate_trace(trace);
   if (!metrics.empty()) validate_metrics(metrics);
+  TelemetryTotals telemetry_totals;
   if (!telemetry.empty()) {
-    validate_telemetry(telemetry,
-                       static_cast<int>(flags.get_int("expect-rounds")));
+    telemetry_totals = validate_telemetry(
+        telemetry, static_cast<int>(flags.get_int("expect-rounds")));
+  }
+  AlertTotals alert_totals;
+  if (!alerts.empty()) alert_totals = validate_alerts(alerts);
+  if (!manifest.empty()) {
+    const ManifestTotals m = validate_manifest(manifest);
+    // Cross-reconciliation (same-run files only): the manifest's aggregates
+    // must match what the streams actually recorded.
+    if (m.validated && telemetry_totals.rows > 0) {
+      check(m.rounds == static_cast<std::uint64_t>(telemetry_totals.rows),
+            manifest + ": totals.rounds != telemetry row count");
+      check(m.bytes_up == telemetry_totals.bytes_up,
+            manifest + ": totals.bytes_up != telemetry sum");
+      check(m.bytes_down == telemetry_totals.bytes_down,
+            manifest + ": totals.bytes_down != telemetry sum");
+    }
+    if (m.validated && alert_totals.validated) {
+      check(m.alerts_info == alert_totals.info &&
+                m.alerts_warning == alert_totals.warning &&
+                m.alerts_critical == alert_totals.critical,
+            manifest + ": alert totals != raised edges in " + alerts);
+    }
   }
   if (g_failures > 0) {
     std::fprintf(stderr, "%d check(s) failed\n", g_failures);
