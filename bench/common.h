@@ -20,6 +20,7 @@
 #include "metrics/convergence.h"
 #include "obs/health.h"
 #include "obs/manifest.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/telemetry.h"
@@ -436,6 +437,10 @@ class RunObservatory {
   // simulation, not just the record) and the periodic metrics flush.
   void after_round(const fl::Simulation& sim, const fl::RoundRecord& record) {
     if (monitor_) monitor_->observe_model(record.round, sim.global_state());
+    // Keep the obs.mem.* gauges fresh round to round so a periodic metrics
+    // flush (and any scraper of the snapshot) sees live memory, not just
+    // the teardown value. Reads /proc only — never perturbs the run (§5b).
+    if (obs::metrics_enabled()) obs::record_memory_gauges();
     ++rounds_seen_;
     if (config_.metrics_flush_every > 0 && !config_.metrics_out.empty() &&
         obs::metrics_enabled() &&
@@ -458,6 +463,11 @@ class RunObservatory {
     agg.final_accuracy = run.summary.final_accuracy;
     agg.best_accuracy = run.summary.best_accuracy;
     agg.time_to_target_s = run.time_to_target_s.value_or(-1.0);
+    // Sampled at cell completion: the peak is process-wide (monotone across
+    // cells), heap_live is what this cell still holds at its end.
+    const obs::MemoryStats mem = obs::record_memory_gauges();
+    agg.peak_rss_bytes = mem.peak_rss_bytes;
+    agg.heap_live_bytes = mem.heap_live_bytes;
     for (const auto& rec : run.records) {
       agg.bytes_up += rec.bytes_up;
       agg.bytes_down += rec.bytes_down;

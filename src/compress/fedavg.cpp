@@ -4,6 +4,8 @@
 
 #include "compress/wire.h"
 #include "obs/trace.h"
+#include "util/reduce.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::compress {
 
@@ -13,16 +15,16 @@ std::vector<float> average_states(
     throw std::invalid_argument("average_states: no clients");
   }
   const std::size_t p = client_states.front().size();
-  std::vector<double> acc(p, 0.0);
   for (const auto& state : client_states) {
     if (state.size() != p) {
       throw std::invalid_argument("average_states: state size mismatch");
     }
-    for (std::size_t j = 0; j < p; ++j) acc[j] += state[j];
   }
+  // Positional mean in the fixed block shape (util/reduce.h): chunked over
+  // the global pool, bitwise identical for every thread count, and — for
+  // cohorts up to the block size — to the historical serial fold.
   std::vector<float> out(p);
-  const double inv = 1.0 / static_cast<double>(client_states.size());
-  for (std::size_t j = 0; j < p; ++j) out[j] = static_cast<float>(acc[j] * inv);
+  util::column_means(client_states, out, &util::ThreadPool::global());
   return out;
 }
 

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/reduce.h"
+#include "util/thread_pool.h"
+
 namespace fedsu::core {
 
 FedSuDownload FedSuServer::aggregate(
@@ -20,20 +23,22 @@ FedSuDownload FedSuServer::aggregate(
           "diverged)");
     }
   }
+  // Positional means in the fixed block shape (util/reduce.h): thread-count
+  // invariant, and bit-identical to the centralized FedSuManager passes —
+  // both fold the same N rows through the same tree.
   FedSuDownload download;
-  download.aggregated_values.assign(values, 0.0f);
-  download.aggregated_errors.assign(errors, 0.0f);
-  const double inv_n = 1.0 / static_cast<double>(uploads.size());
-  for (std::size_t j = 0; j < values; ++j) {
-    double acc = 0.0;
-    for (const auto& upload : uploads) acc += upload.unpredictable_values[j];
-    download.aggregated_values[j] = static_cast<float>(acc * inv_n);
+  download.aggregated_values.resize(values);
+  download.aggregated_errors.resize(errors);
+  util::ThreadPool* pool = &util::ThreadPool::global();
+  std::vector<std::span<const float>> rows;
+  rows.reserve(uploads.size());
+  for (const auto& upload : uploads) {
+    rows.emplace_back(upload.unpredictable_values);
   }
-  for (std::size_t j = 0; j < errors; ++j) {
-    double acc = 0.0;
-    for (const auto& upload : uploads) acc += upload.expiring_errors[j];
-    download.aggregated_errors[j] = static_cast<float>(acc * inv_n);
-  }
+  util::column_means(rows, download.aggregated_values, pool);
+  rows.clear();
+  for (const auto& upload : uploads) rows.emplace_back(upload.expiring_errors);
+  util::column_means(rows, download.aggregated_errors, pool);
   return download;
 }
 

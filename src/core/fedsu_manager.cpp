@@ -7,6 +7,8 @@
 #include "compress/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/reduce.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::core {
 
@@ -34,8 +36,7 @@ void FedSuManager::initialize(std::span<const float> global_state) {
   slope_.assign(p, 0.0f);
   no_check_period_.assign(p, 0);
   no_check_remaining_.assign(p, 0);
-  client_err_.assign(static_cast<std::size_t>(num_clients_),
-                     std::vector<float>(p, 0.0f));
+  client_err_.reset(num_clients_, p);
   phase_start_round_.assign(p, 0);
   rejoin_stamp_.assign(static_cast<std::size_t>(num_clients_), 0);
   linear_rounds_.assign(p, 0);
@@ -49,8 +50,8 @@ void FedSuManager::on_client_join(int client_id) {
   }
   ++num_clients_;
   // The joiner downloads the masks/periods/slopes (join_state_bytes()) and
-  // starts with a clean local error accumulator.
-  client_err_.emplace_back(global_.size(), 0.0f);
+  // starts with a clean local error accumulator (no slab until it accrues).
+  client_err_.add_client();
   rejoin_stamp_.push_back(0);
 }
 
@@ -58,8 +59,9 @@ std::size_t FedSuManager::on_client_rejoin(int client_id) {
   if (client_id < 0 || client_id >= num_clients_) {
     throw std::out_of_range("FedSuManager: rejoining client id out of range");
   }
-  auto& err = client_err_[static_cast<std::size_t>(client_id)];
-  std::fill(err.begin(), err.end(), 0.0f);
+  // Rejoin-stamp reset reclaims the slab outright: the accumulator is
+  // semantically all-zero, and reading an absent slab yields exact zeros.
+  client_err_.release(client_id);
   rejoin_stamp_[static_cast<std::size_t>(client_id)] = rounds_seen_;
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry::global().counter("core.fedsu.rejoins").add(1);
@@ -108,62 +110,120 @@ compress::SyncResult FedSuManager::synchronize(
   std::vector<float> up_payload;
 
   // Pass 1: synchronize unpredictable parameters; speculatively update the
-  // predictable ones and accumulate prediction errors.
+  // predictable ones and accumulate prediction errors. The aggregation and
+  // the error scatter are chunked over the global pool with fixed shapes
+  // (util/reduce.h block tree; one scatter task per participant), so the
+  // bits are identical for every --threads value (§5b).
+  util::ThreadPool* pool = &util::ThreadPool::global();
+  std::vector<std::size_t> expiring;  // ascending j, filled as periods lapse
   {
   OBS_SPAN("core.fedsu.speculate");
+  // Positional sums of every column in the fixed block shape. For cohorts
+  // up to util::kReduceClientBlock this is the historical per-column serial
+  // chain bit-for-bit; beyond it the deterministic two-level tree applies
+  // (documented §5b extension). Predictable columns are summed too — the
+  // row-major traversal vectorizes, and it keeps the reduction shape a
+  // function of (n, p) alone.
+  std::vector<double> column_sums(p, 0.0);
+  util::column_sums(client_states, column_sums, pool);
   for (std::size_t j = 0; j < p; ++j) {
     if (!predictable_[j]) {
       ++unpredictable_count;
       up_payload.push_back(client_states[0][j]);
-      double acc = 0.0;
-      for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
-      new_global[j] = static_cast<float>(acc * inv_n);
+      new_global[j] = static_cast<float>(column_sums[j] * inv_n);
       continue;
     }
     // Speculative update: persist the profiled per-round slope.
-    const float x_spec = global_[j] + slope_[j];
-    new_global[j] = x_spec;
+    new_global[j] = global_[j] + slope_[j];
     ++linear_rounds_[j];
-    // Each participating client logs its local prediction error
-    // e = (local update) - slope = x_local - x_spec. A stale participant
-    // whose model version predates this parameter's speculation phase never
-    // observed the phase's trajectory, so its error term is meaningless for
-    // Eq. 3 — the version fence below keeps it out of the accumulator, the
-    // same invariant the rejoin stamps enforce for crash churn, keyed by
-    // dispatch version instead of rejoin round.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (versioned && ctx.dispatch_rounds[i] < phase_start_round_[j]) {
-        continue;
-      }
-      client_err_[static_cast<std::size_t>(
-          ctx.participants[i])][j] += client_states[i][j] - x_spec;
+    if (--no_check_remaining_[j] <= 0) {
+      ++expiring_count;
+      expiring.push_back(j);
     }
-    if (--no_check_remaining_[j] <= 0) ++expiring_count;
+  }
+  // Each participating client logs its local prediction error
+  // e = (local update) - slope = x_local - x_spec, where x_spec is the
+  // speculative new_global written above. A stale participant whose model
+  // version predates this parameter's speculation phase never observed the
+  // phase's trajectory, so its error term is meaningless for Eq. 3 — the
+  // version fence keeps it out of the accumulator, the same invariant the
+  // rejoin stamps enforce for crash churn, keyed by dispatch version
+  // instead of rejoin round. Participants are distinct clients, so each
+  // scatter task owns its slab exclusively; a slab materializes on the
+  // first nonzero delta (absent == exact zeros, core/error_store.h).
+  if (unpredictable_count < p) {  // at least one predictable parameter
+    auto scatter = [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const int client = ctx.participants[i];
+        const std::span<const float>& state = client_states[i];
+        float* slab = client_err_.slab(client);
+        for (std::size_t j = 0; j < p; ++j) {
+          if (!predictable_[j]) continue;
+          if (versioned && ctx.dispatch_rounds[i] < phase_start_round_[j]) {
+            continue;
+          }
+          const float delta = state[j] - new_global[j];
+          if (slab == nullptr) {
+            if (delta == 0.0f) continue;  // dense would add +/-0 to 0: 0
+            slab = client_err_.ensure(client);
+          }
+          slab[j] += delta;
+        }
+      }
+    };
+    if (pool->worth_parallelizing() && n > 1) {
+      pool->parallel_for(0, n, scatter);
+    } else {
+      scatter(0, n);
+    }
   }
   }  // OBS_SPAN core.fedsu.speculate
 
   // Pass 2: error feedback for parameters whose no-checking period expired.
+  // Stage 2a computes every expiring parameter's aggregate concurrently
+  // (disjoint outputs per expiring index); stage 2b applies the verdicts
+  // serially in ascending parameter order, so payload layout, event order
+  // and diagnostics are exactly the historical ones.
   {
   OBS_SPAN("core.fedsu.feedback");
-  for (std::size_t j = 0; j < p; ++j) {
-    if (!predictable_[j] || no_check_remaining_[j] > 0) continue;
-    // The client uploads its accumulated local error for this parameter.
-    up_payload.push_back(
-        client_err_[static_cast<std::size_t>(ctx.participants[0])][j]);
-    // Aggregate only accumulators that cover the whole speculation phase: a
-    // client that rejoined after the phase started (rejoin_stamp_ >
-    // phase_start_round_) missed earlier error terms, and Eq. 3 sums from
-    // the phase start. Without churn every participant is valid and the
-    // mean is bit-identical to the unfiltered one.
-    double err_acc = 0.0;
-    std::size_t valid = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto id = static_cast<std::size_t>(ctx.participants[i]);
-      if (rejoin_stamp_[id] > phase_start_round_[j]) continue;
-      err_acc += client_err_[id][j];
-      ++valid;
+  // Stage 2a: filtered sums. Aggregate only accumulators that cover the
+  // whole speculation phase: a client that rejoined after the phase started
+  // (rejoin_stamp_ > phase_start_round_) missed earlier error terms, and
+  // Eq. 3 sums from the phase start. Without churn every participant is
+  // valid and the mean is bit-identical to the unfiltered one. The filtered
+  // column is folded with the same fixed block shape as every other
+  // aggregation (util::blocked_sum), keeping the centralized and
+  // distributed decompositions bit-identical at any cohort size.
+  std::vector<double> err_sums(expiring.size(), 0.0);
+  std::vector<std::size_t> err_valid(expiring.size(), 0);
+  if (!expiring.empty()) {
+    auto reduce_errors = [&](std::size_t k0, std::size_t k1) {
+      std::vector<float> column;
+      column.reserve(n);
+      for (std::size_t k = k0; k < k1; ++k) {
+        const std::size_t j = expiring[k];
+        column.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto id = static_cast<std::size_t>(ctx.participants[i]);
+          if (rejoin_stamp_[id] > phase_start_round_[j]) continue;
+          column.push_back(client_err_.value(ctx.participants[i], j));
+        }
+        err_sums[k] = util::blocked_sum(column);
+        err_valid[k] = column.size();
+      }
+    };
+    if (pool->worth_parallelizing() && expiring.size() > 1) {
+      pool->parallel_for(0, expiring.size(), reduce_errors);
+    } else {
+      reduce_errors(0, expiring.size());
     }
-    if (valid == 0) {
+  }
+  // Stage 2b: verdicts, in ascending parameter order.
+  for (std::size_t k = 0; k < expiring.size(); ++k) {
+    const std::size_t j = expiring[k];
+    // The client uploads its accumulated local error for this parameter.
+    up_payload.push_back(client_err_.value(ctx.participants[0], j));
+    if (err_valid[k] == 0) {
       // Every participant's view of this phase is partial (all rejoined
       // mid-phase): the check cannot be evaluated. Re-arm for next round
       // without extending the period.
@@ -172,8 +232,8 @@ compress::SyncResult FedSuManager::synchronize(
     }
     // The aggregate crosses the wire as float32 (matching the distributed
     // decomposition in core/distributed.h bit-for-bit).
-    const float mean_err =
-        static_cast<float>(err_acc * (1.0 / static_cast<double>(valid)));
+    const float mean_err = static_cast<float>(
+        err_sums[k] * (1.0 / static_cast<double>(err_valid[k])));
     const double denom = std::fabs(static_cast<double>(slope_[j])) + 1e-8;
     const double s = std::fabs(static_cast<double>(mean_err)) / denom;
     if (s < options_.t_s) {
@@ -190,7 +250,7 @@ compress::SyncResult FedSuManager::synchronize(
       no_check_period_[j] = 0;
       no_check_remaining_[j] = 0;
       new_global[j] = static_cast<float>(new_global[j] + mean_err);
-      for (auto& err : client_err_) err[j] = 0.0f;
+      client_err_.clear_param(j);
       if (options_.reset_on_demote) osc_.reset(j);
       ++diag_.demotions;
       emit(SpecEvent{ctx.round, j, /*start=*/false});
@@ -224,7 +284,7 @@ compress::SyncResult FedSuManager::synchronize(
       no_check_period_[j] = options_.initial_no_check;
       no_check_remaining_[j] = options_.initial_no_check;
       phase_start_round_[j] = rounds_seen_;
-      for (auto& err : client_err_) err[j] = 0.0f;
+      client_err_.clear_param(j);
       ++diag_.promotions;
       emit(SpecEvent{ctx.round, j, /*start=*/true});
     }
@@ -279,15 +339,20 @@ std::size_t FedSuManager::state_bytes() const {
                       slope_.size() * sizeof(float) +
                       no_check_period_.size() * sizeof(std::int32_t) +
                       no_check_remaining_.size() * sizeof(std::int32_t);
-  // Per-client error accumulator: on a real device each client stores one.
-  if (!client_err_.empty()) bytes += client_err_[0].size() * sizeof(float);
+  // Per-client error accumulator: on a real device each client stores one
+  // (dense — the device always observes its own errors; sparsity is a
+  // server-side phenomenon driven by never-selected and churned clients).
+  bytes += global_.size() * sizeof(float);
   return bytes;
 }
 
 namespace {
 // 0xFED50002 added the churn-reconciliation bookkeeping (phase start
-// rounds + rejoin stamps); older snapshots are not readable.
-constexpr std::uint32_t kFedSuSnapshotMagic = 0xFED50002;
+// rounds + rejoin stamps). 0xFED50003 switched the per-client error
+// matrix to the sparse slab encoding (core/error_store.h): only allocated
+// slabs are written, as (client id, slab) pairs. Older snapshots are not
+// readable.
+constexpr std::uint32_t kFedSuSnapshotMagic = 0xFED50003;
 }  // namespace
 
 std::vector<std::uint8_t> FedSuManager::snapshot() const {
@@ -305,8 +370,7 @@ std::vector<std::uint8_t> FedSuManager::snapshot() const {
   writer.write_vector(linear_rounds_);
   writer.write_vector(phase_start_round_);
   writer.write_vector(rejoin_stamp_);
-  writer.write_u64(client_err_.size());
-  for (const auto& err : client_err_) writer.write_vector(err);
+  client_err_.serialize(writer);
   return writer.take();
 }
 
@@ -325,24 +389,14 @@ void FedSuManager::restore(const std::vector<std::uint8_t>& bytes) {
   linear_rounds_ = reader.read_vector<std::int32_t>();
   phase_start_round_ = reader.read_vector<std::int32_t>();
   rejoin_stamp_ = reader.read_vector<std::int32_t>();
-  const std::uint64_t clients = reader.read_u64();
-  client_err_.clear();
-  for (std::uint64_t i = 0; i < clients; ++i) {
-    client_err_.push_back(reader.read_vector<float>());
-  }
   const std::size_t p = global_.size();
+  client_err_.deserialize(reader, num_clients_, p);
   if (predictable_.size() != p || slope_.size() != p ||
       no_check_period_.size() != p || no_check_remaining_.size() != p ||
       linear_rounds_.size() != p || osc_.size() != p ||
       phase_start_round_.size() != p ||
-      rejoin_stamp_.size() != static_cast<std::size_t>(num_clients_) ||
-      client_err_.size() != static_cast<std::size_t>(num_clients_)) {
+      rejoin_stamp_.size() != static_cast<std::size_t>(num_clients_)) {
     throw std::runtime_error("FedSuManager: inconsistent snapshot");
-  }
-  for (const auto& err : client_err_) {
-    if (err.size() != p) {
-      throw std::runtime_error("FedSuManager: inconsistent snapshot (errors)");
-    }
   }
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "compress/protocol.h"
+#include "core/error_store.h"
 #include "core/oscillation.h"
 
 namespace fedsu::core {
@@ -111,6 +112,9 @@ class FedSuManager : public compress::SyncProtocol {
   }
   int rounds_seen() const { return rounds_seen_; }
   const FedSuOptions& options() const { return options_; }
+  // The sparse per-client error-feedback store (slab residency is what
+  // bench_scale contrasts with the dense num_clients x params matrix).
+  const SparseErrorStore& error_store() const { return client_err_; }
 
   void set_event_hook(std::function<void(const SpecEvent&)> hook) {
     event_hook_ = std::move(hook);
@@ -129,8 +133,11 @@ class FedSuManager : public compress::SyncProtocol {
   std::vector<float> slope_;
   std::vector<std::int32_t> no_check_period_;
   std::vector<std::int32_t> no_check_remaining_;
-  // client_err_[client_id][j]: accumulated local prediction error.
-  std::vector<std::vector<float>> client_err_;
+  // Accumulated local prediction error per (client, parameter). Sparse:
+  // slabs materialize on first nonzero accumulation and are released on
+  // rejoin, with reads of absent slabs yielding exact 0.0f — bit-identical
+  // to the dense matrix this replaced (see core/error_store.h).
+  SparseErrorStore client_err_;
   // Round (rounds_seen_ clock) when parameter j's current speculation phase
   // started; paired with rejoin_stamp_ to decide, per (client, parameter),
   // whether the client observed the whole phase (see pass 2).

@@ -24,7 +24,10 @@ void Dataset::gather(const std::vector<std::size_t>& indices,
                      tensor::Tensor& batch, std::vector<int>& labels) const {
   const std::size_t sample =
       static_cast<std::size_t>(channels()) * height() * width();
-  batch = tensor::Tensor(
+  // resize() keeps the heap buffer when capacity suffices, so the training
+  // loop's per-iteration gather stops reallocating after the first batch;
+  // every element is overwritten below, so stale survivors cannot leak.
+  batch.resize(
       {static_cast<int>(indices.size()), channels(), height(), width()});
   labels.resize(indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -47,6 +50,58 @@ std::vector<int> Dataset::class_histogram() const {
   std::vector<int> hist(static_cast<std::size_t>(num_classes_), 0);
   for (int y : labels_) ++hist[static_cast<std::size_t>(y)];
   return hist;
+}
+
+DatasetView::DatasetView(std::shared_ptr<const Dataset> parent,
+                         std::vector<std::size_t> rows)
+    : parent_(std::move(parent)), rows_(std::move(rows)) {
+  if (!parent_) throw std::invalid_argument("DatasetView: null parent");
+  for (std::size_t row : rows_) {
+    if (row >= parent_->size()) {
+      throw std::out_of_range("DatasetView: row index out of range");
+    }
+  }
+}
+
+DatasetView DatasetView::all_of(std::shared_ptr<const Dataset> parent) {
+  if (!parent) throw std::invalid_argument("DatasetView: null parent");
+  std::vector<std::size_t> rows(parent->size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return DatasetView(std::move(parent), std::move(rows));
+}
+
+DatasetView DatasetView::own(Dataset dataset) {
+  return all_of(std::make_shared<const Dataset>(std::move(dataset)));
+}
+
+void DatasetView::gather(const std::vector<std::size_t>& indices,
+                         tensor::Tensor& batch,
+                         std::vector<int>& labels) const {
+  const std::size_t sample =
+      static_cast<std::size_t>(channels()) * height() * width();
+  const tensor::Tensor& images = parent_->images();
+  const std::vector<int>& parent_labels = parent_->labels();
+  batch.resize(
+      {static_cast<int>(indices.size()), channels(), height(), width()});
+  labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_.size()) {
+      throw std::out_of_range("DatasetView::gather: bad index");
+    }
+    const std::size_t src = rows_[indices[i]];
+    std::memcpy(batch.data() + i * sample, images.data() + src * sample,
+                sizeof(float) * sample);
+    labels[i] = parent_labels[src];
+  }
+}
+
+Dataset DatasetView::materialize() const {
+  tensor::Tensor batch;
+  std::vector<int> labels;
+  std::vector<std::size_t> all(rows_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  gather(all, batch, labels);
+  return Dataset(std::move(batch), std::move(labels));
 }
 
 }  // namespace fedsu::data

@@ -1,6 +1,7 @@
-// In-memory labeled image dataset (NCHW).
+// In-memory labeled image dataset (NCHW) and zero-copy views over it.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -37,6 +38,56 @@ class Dataset {
   tensor::Tensor images_;
   std::vector<int> labels_;
   int num_classes_ = 0;
+};
+
+// Zero-copy shard view: a shared immutable parent dataset plus the row
+// indices this shard covers (DESIGN.md §13). An N-client simulation builds
+// one DatasetView per client over the single training dataset, so the
+// images exist exactly once in memory regardless of N; per-shard cost is
+// the index list (8 bytes/sample) instead of a full sample copy.
+//
+// Views never mutate the parent, and the shared_ptr keeps it alive for as
+// long as any view (and any BatchLoader over one) exists. gather() copies
+// the exact bytes Dataset::gather would copy from an equivalent subset()
+// dataset, so view-backed training is bit-identical to the legacy
+// copy-per-client path (tests/test_scale.cpp).
+class DatasetView {
+ public:
+  DatasetView() = default;
+  // A view of `rows` (parent row indices, any order, duplicates allowed).
+  DatasetView(std::shared_ptr<const Dataset> parent,
+              std::vector<std::size_t> rows);
+  // The whole parent in row order.
+  static DatasetView all_of(std::shared_ptr<const Dataset> parent);
+  // Adopts a standalone dataset (the legacy copy path): the view owns the
+  // data and covers every row. Used by add_client()-style entry points that
+  // hand over a materialized shard.
+  static DatasetView own(Dataset dataset);
+
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  int channels() const { return parent_ ? parent_->channels() : 0; }
+  int height() const { return parent_ ? parent_->height() : 0; }
+  int width() const { return parent_ ? parent_->width() : 0; }
+  // The PARENT's class count: shards of one federation share the task's
+  // label space even when a skewed shard is missing classes.
+  int num_classes() const { return parent_ ? parent_->num_classes() : 0; }
+
+  const Dataset& parent() const { return *parent_; }
+  const std::vector<std::size_t>& rows() const { return rows_; }
+  int label(std::size_t i) const { return parent_->labels()[rows_[i]]; }
+
+  // Copies the selected view samples into a batch tensor + label vector,
+  // reusing the destination buffers' capacity (see Dataset::gather).
+  void gather(const std::vector<std::size_t>& indices, tensor::Tensor& batch,
+              std::vector<int>& labels) const;
+
+  // Materializes the view as a standalone Dataset (tests, add_client).
+  Dataset materialize() const;
+
+ private:
+  std::shared_ptr<const Dataset> parent_;
+  std::vector<std::size_t> rows_;
 };
 
 }  // namespace fedsu::data

@@ -5,15 +5,15 @@
 
 namespace fedsu::data {
 
-BatchLoader::BatchLoader(const Dataset& dataset, int batch_size, util::Rng rng)
-    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+BatchLoader::BatchLoader(const DatasetView& view, int batch_size, util::Rng rng)
+    : view_(view), batch_size_(batch_size), rng_(rng) {
   if (batch_size <= 0) throw std::invalid_argument("BatchLoader: batch <= 0");
-  if (dataset.empty()) throw std::invalid_argument("BatchLoader: empty dataset");
+  if (view.empty()) throw std::invalid_argument("BatchLoader: empty dataset");
   reshuffle();
 }
 
 void BatchLoader::reshuffle() {
-  order_ = rng_.permutation(dataset_.size());
+  order_ = rng_.permutation(view_.size());
   cursor_ = 0;
 }
 
@@ -24,10 +24,10 @@ void BatchLoader::next(tensor::Tensor& batch, std::vector<int>& labels) {
   }
   const std::size_t take =
       std::min(static_cast<std::size_t>(batch_size_), order_.size() - cursor_);
-  std::vector<std::size_t> indices(order_.begin() + cursor_,
-                                   order_.begin() + cursor_ + take);
+  scratch_indices_.assign(order_.begin() + cursor_,
+                          order_.begin() + cursor_ + take);
   cursor_ += take;
-  dataset_.gather(indices, batch, labels);
+  view_.gather(scratch_indices_, batch, labels);
 }
 
 }  // namespace fedsu::data

@@ -1,4 +1,4 @@
-// Shuffling mini-batch loader over a Dataset.
+// Shuffling mini-batch loader over a DatasetView.
 #pragma once
 
 #include <vector>
@@ -10,12 +10,15 @@ namespace fedsu::data {
 
 class BatchLoader {
  public:
-  // `dataset` must outlive the loader. Batches wrap around epoch boundaries
-  // (reshuffling each epoch) so callers can just ask for the next batch.
-  BatchLoader(const Dataset& dataset, int batch_size, util::Rng rng);
+  // `view` must outlive the loader (it is held by reference; the view's own
+  // shared_ptr keeps the parent dataset alive). Batches wrap around epoch
+  // boundaries (reshuffling each epoch) so callers can just ask for the
+  // next batch.
+  BatchLoader(const DatasetView& view, int batch_size, util::Rng rng);
 
-  // Fills `batch`/`labels` with the next mini-batch. The final batch of an
-  // epoch may be smaller when the dataset size is not divisible.
+  // Fills `batch`/`labels` with the next mini-batch, reusing their
+  // capacity. The final batch of an epoch may be smaller when the dataset
+  // size is not divisible.
   void next(tensor::Tensor& batch, std::vector<int>& labels);
 
   int batch_size() const { return batch_size_; }
@@ -24,10 +27,11 @@ class BatchLoader {
  private:
   void reshuffle();
 
-  const Dataset& dataset_;
+  const DatasetView& view_;
   int batch_size_;
   util::Rng rng_;
   std::vector<std::size_t> order_;
+  std::vector<std::size_t> scratch_indices_;  // reused across next() calls
   std::size_t cursor_ = 0;
   std::size_t epochs_ = 0;
 };

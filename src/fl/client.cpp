@@ -6,10 +6,13 @@
 
 namespace fedsu::fl {
 
-Client::Client(int id, data::Dataset shard, int batch_size, util::Rng rng)
+Client::Client(int id, data::DatasetView shard, int batch_size, util::Rng rng)
     : id_(id), shard_(std::move(shard)), loader_(shard_, batch_size, rng) {
   if (id < 0) throw std::invalid_argument("Client: negative id");
 }
+
+Client::Client(int id, data::Dataset shard, int batch_size, util::Rng rng)
+    : Client(id, data::DatasetView::own(std::move(shard)), batch_size, rng) {}
 
 float Client::train_round(nn::Model& model, const LocalTrainOptions& options) {
   OBS_SPAN("client.train");

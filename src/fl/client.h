@@ -35,12 +35,16 @@ struct LocalTrainOptions {
 
 class Client {
  public:
-  // `shard` is copied into client-local storage (the private dataset).
+  // `shard` is a zero-copy view of the shared training dataset: the client
+  // stores only its row indices, not a copy of the images (DESIGN.md §13).
+  Client(int id, data::DatasetView shard, int batch_size, util::Rng rng);
+  // Legacy copy path: adopts a standalone dataset as the private shard.
+  // Training over it is bit-identical to the view over the same rows.
   Client(int id, data::Dataset shard, int batch_size, util::Rng rng);
 
   int id() const { return id_; }
   std::size_t dataset_size() const { return shard_.size(); }
-  const data::Dataset& shard() const { return shard_; }
+  const data::DatasetView& shard() const { return shard_; }
 
   // Runs `options.iterations` local SGD steps on `model`, which must
   // already hold the current global state. Returns the mean training loss.
@@ -53,7 +57,7 @@ class Client {
 
  private:
   int id_;
-  data::Dataset shard_;
+  data::DatasetView shard_;  // must precede loader_ (it holds a reference)
   data::BatchLoader loader_;
 };
 

@@ -49,7 +49,6 @@ Simulation::Simulation(SimulationOptions options,
                        std::unique_ptr<compress::SyncProtocol> protocol)
     : options_(std::move(options)),
       protocol_(std::move(protocol)),
-      data_(data::generate_synthetic(options_.dataset)),
       scratch_model_(nn::build_model(options_.model, util::Rng(options_.seed))),
       network_(options_.num_clients, options_.network) {
   if (!protocol_) throw std::invalid_argument("Simulation: null protocol");
@@ -106,18 +105,30 @@ Simulation::Simulation(SimulationOptions options,
                    options_.async.buffer_k > 0 &&
                    options_.async.buffer_k >= options_.num_clients;
 
-  // Partition the training data across clients (Dirichlet label skew).
+  // Generate the data once; clients share the training set through views.
+  {
+    data::TrainTest data = data::generate_synthetic(options_.dataset);
+    train_data_ = std::make_shared<const data::Dataset>(std::move(data.train));
+    test_data_ = std::move(data.test);
+  }
+
+  // Partition the training data across clients (Dirichlet label skew). Each
+  // shard becomes a zero-copy DatasetView over the shared dataset: the
+  // images are stored exactly once no matter how many clients exist, and
+  // view-backed gather copies the identical bytes the legacy per-client
+  // subset() copies did, so results are unchanged bit-for-bit.
   data::PartitionOptions part;
   part.num_clients = options_.num_clients;
   part.alpha = options_.dirichlet_alpha;
   part.seed = options_.seed ^ 0x5bd1e995;
-  const auto shards = data::dirichlet_partition(data_.train, part);
+  auto shards = data::dirichlet_partition(*train_data_, part);
 
   util::Rng client_rng(options_.seed ^ 0x2545f491);
   clients_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     clients_.push_back(std::make_unique<Client>(
-        static_cast<int>(i), data_.train.subset(shards[i]),
+        static_cast<int>(i),
+        data::DatasetView(train_data_, std::move(shards[i])),
         options_.local.batch_size, client_rng.fork(i)));
   }
   active_.assign(clients_.size(), true);
@@ -852,6 +863,14 @@ RoundRecord Simulation::step_async() {
   virtuals.reserve(consumed_entries.size());
   std::vector<std::span<const float>> views;
   views.reserve(consumed_entries.size());
+  // Stale legs re-base off the pool below; each job fills one pre-sized
+  // virtual vector (disjoint outputs, §5b).
+  struct RebaseJob {
+    const InFlight* leg = nullptr;
+    double weight = 1.0;
+    std::size_t slot = 0;
+  };
+  std::vector<RebaseJob> rebase_jobs;
   double loss_sum = 0.0;
   int staleness_sum = 0;
   int stale_uploads = 0;
@@ -881,17 +900,33 @@ RoundRecord Simulation::step_async() {
     // staleness discount — virtual = global + w * (state - dispatch_global)
     // — which turns the protocol's plain mean into the FedBuff buffered
     // update rule. Accumulated in double, stored as float like every other
-    // aggregation path in the repo.
-    const std::vector<float>& base = *leg.dispatch_global;
-    std::vector<float> virt(global_.size());
-    for (std::size_t j = 0; j < virt.size(); ++j) {
-      virt[j] = static_cast<float>(
-          static_cast<double>(global_[j]) +
-          w * (static_cast<double>(leg.state[j]) -
-               static_cast<double>(base[j])));
-    }
-    virtuals.push_back(std::move(virt));
+    // aggregation path in the repo. The fill happens below, possibly across
+    // the pool: per-element arithmetic with disjoint output vectors, so the
+    // bits cannot depend on the thread count.
+    rebase_jobs.push_back(RebaseJob{&leg, w, virtuals.size()});
+    virtuals.emplace_back(global_.size());
     views.emplace_back(virtuals.back());
+  }
+  if (!rebase_jobs.empty()) {
+    auto rebase = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        const RebaseJob& job = rebase_jobs[k];
+        const std::vector<float>& state = job.leg->state;
+        const std::vector<float>& base = *job.leg->dispatch_global;
+        std::vector<float>& virt = virtuals[job.slot];
+        for (std::size_t j = 0; j < virt.size(); ++j) {
+          virt[j] = static_cast<float>(
+              static_cast<double>(global_[j]) +
+              job.weight * (static_cast<double>(state[j]) -
+                            static_cast<double>(base[j])));
+        }
+      }
+    };
+    if (pool_ && rebase_jobs.size() > 1) {
+      pool_->parallel_for(0, rebase_jobs.size(), rebase);
+    } else {
+      rebase(0, rebase_jobs.size());
+    }
   }
   as.mean_staleness =
       consumed == 0 ? 0.0
@@ -1056,7 +1091,7 @@ std::vector<RoundRecord> Simulation::run(int rounds,
 
 float Simulation::evaluate() const {
   scratch_model_.load_state_vector(global_);
-  const data::Dataset& test = data_.test;
+  const data::Dataset& test = test_data_;
   const std::size_t n = test.size();
   std::size_t done = 0;
   double correct_weighted = 0.0;

@@ -257,7 +257,12 @@ class Simulation {
 
   SimulationOptions options_;
   std::unique_ptr<compress::SyncProtocol> protocol_;
-  data::TrainTest data_;
+  // The training data exists exactly once: every client holds a
+  // DatasetView (row indices) into this shared dataset instead of a copy
+  // (DESIGN.md §13). Declared before clients_ so views outlive their users
+  // even mid-destruction.
+  std::shared_ptr<const data::Dataset> train_data_;
+  data::Dataset test_data_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<bool> active_;
   mutable nn::Model scratch_model_;

@@ -86,6 +86,10 @@ std::string RunManifest::to_json() const {
        << json_optional_positive(run.gigabytes_to_target)
        << ", \"bytes_up\": " << run.bytes_up
        << ", \"bytes_down\": " << run.bytes_down;
+    if (run.peak_rss_bytes > 0 || run.heap_live_bytes > 0) {
+      os << ", \"memory\": {\"peak_rss_bytes\": " << run.peak_rss_bytes
+         << ", \"heap_live_bytes\": " << run.heap_live_bytes << "}";
+    }
     os << ", \"faults\": {";
     bool ffirst = true;
     for (const auto& [name, count] : run.fault_totals) {

@@ -34,6 +34,12 @@ struct RunAggregates {
   double gigabytes_to_target = -1.0;
   std::uint64_t bytes_up = 0;
   std::uint64_t bytes_down = 0;
+  // Host memory at cell completion (obs::sample_memory): the process RSS
+  // high-water mark and the live heap bytes. 0 = not sampled / platform
+  // cannot report; serialized as a "memory" object only when nonzero so
+  // pre-existing manifests and consumers are unaffected.
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t heap_live_bytes = 0;
   // Summed RoundRecord::FaultCounters fields; empty when faults were off.
   std::map<std::string, std::uint64_t> fault_totals;
   // HealthMonitor raised-edge counts attributable to this cell.

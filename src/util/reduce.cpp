@@ -1,0 +1,123 @@
+#include "util/reduce.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace fedsu::util {
+
+namespace {
+
+// Columns per parallel_for grain in the combine stage; coarse enough that
+// a chunk amortizes the dispatch, fine enough that wide models spread.
+constexpr std::size_t kColumnGrain = 4096;
+
+// Accumulates rows [row_begin, row_end) row-major into panel (one double
+// per column). The caller zeroed the panel.
+void accumulate_rows(const std::vector<std::span<const float>>& rows,
+                     std::size_t row_begin, std::size_t row_end,
+                     std::span<double> panel) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const float* __restrict row = rows[i].data();
+    double* __restrict acc = panel.data();
+    const std::size_t p = panel.size();
+    for (std::size_t j = 0; j < p; ++j) acc[j] += row[j];
+  }
+}
+
+}  // namespace
+
+void column_sums(const std::vector<std::span<const float>>& rows,
+                 std::span<double> sums, ThreadPool* pool) {
+  const std::size_t n = rows.size();
+  const std::size_t p = sums.size();
+  std::fill(sums.begin(), sums.end(), 0.0);
+  if (n == 0 || p == 0) return;
+  for (const auto& row : rows) {
+    if (row.size() != p) {
+      throw std::invalid_argument("column_sums: row size mismatch");
+    }
+  }
+  const bool fan_out = pool != nullptr && pool->worth_parallelizing();
+  const std::size_t blocks = (n + kReduceClientBlock - 1) / kReduceClientBlock;
+  if (blocks == 1) {
+    // Single block: the fold IS the serial chain. Columns have disjoint
+    // accumulators, so chunking them keeps every chain intact.
+    if (fan_out && p > kColumnGrain) {
+      pool->parallel_for(
+          0, p,
+          [&](std::size_t j0, std::size_t j1) {
+            for (std::size_t i = 0; i < n; ++i) {
+              const float* __restrict row = rows[i].data();
+              for (std::size_t j = j0; j < j1; ++j) sums[j] += row[j];
+            }
+          },
+          kColumnGrain);
+    } else {
+      accumulate_rows(rows, 0, n, sums);
+    }
+    return;
+  }
+
+  // Two-level tree: per-block panels (parallel over blocks), then a
+  // per-column combine in ascending block order (parallel over columns).
+  std::vector<double> panels(blocks * p, 0.0);
+  auto fill_blocks = [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t row_begin = b * kReduceClientBlock;
+      const std::size_t row_end = std::min(n, row_begin + kReduceClientBlock);
+      accumulate_rows(rows, row_begin, row_end,
+                      std::span<double>(panels).subspan(b * p, p));
+    }
+  };
+  auto combine = [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      double acc = panels[j];
+      for (std::size_t b = 1; b < blocks; ++b) acc += panels[b * p + j];
+      sums[j] = acc;
+    }
+  };
+  if (fan_out) {
+    pool->parallel_for(0, blocks, fill_blocks);
+    pool->parallel_for(0, p, combine, kColumnGrain);
+  } else {
+    fill_blocks(0, blocks);
+    combine(0, p);
+  }
+}
+
+void column_means(const std::vector<std::span<const float>>& rows,
+                  std::span<float> out, ThreadPool* pool) {
+  if (rows.empty()) {
+    throw std::invalid_argument("column_means: no rows");
+  }
+  std::vector<double> sums(out.size(), 0.0);
+  column_sums(rows, sums, pool);
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] = static_cast<float>(sums[j] * inv_n);
+  }
+}
+
+double blocked_sum(std::span<const float> values) {
+  const std::size_t n = values.size();
+  if (n <= kReduceClientBlock) {
+    double acc = 0.0;
+    for (float v : values) acc += v;
+    return acc;
+  }
+  // Mirrors the column_sums combine exactly: the first block's panel seeds
+  // the accumulator (no leading zero), later blocks add in ascending order.
+  double total = 0.0;
+  for (std::size_t b = 0; b * kReduceClientBlock < n; ++b) {
+    const std::size_t begin = b * kReduceClientBlock;
+    const std::size_t end = std::min(n, begin + kReduceClientBlock);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += values[i];
+    total = b == 0 ? acc : total + acc;
+  }
+  return total;
+}
+
+}  // namespace fedsu::util

@@ -229,7 +229,8 @@ TEST(Loader, BatchesHaveRequestedSize) {
   spec.test_count = 10;
   spec.image_size = 4;
   const auto data = generate_synthetic(spec);
-  BatchLoader loader(data.train, 16, util::Rng(1));
+  const DatasetView view = DatasetView::own(data.train);
+  BatchLoader loader(view, 16, util::Rng(1));
   tensor::Tensor batch;
   std::vector<int> labels;
   loader.next(batch, labels);
@@ -243,7 +244,8 @@ TEST(Loader, EpochCoversEverySample) {
   spec.test_count = 10;
   spec.image_size = 4;
   const auto data = generate_synthetic(spec);
-  BatchLoader loader(data.train, 7, util::Rng(2));
+  const DatasetView view = DatasetView::own(data.train);
+  BatchLoader loader(view, 7, util::Rng(2));
   tensor::Tensor batch;
   std::vector<int> labels;
   std::multiset<float> seen;
@@ -267,7 +269,8 @@ TEST(Loader, RejectsBadArguments) {
   spec.test_count = 5;
   spec.image_size = 4;
   const auto data = generate_synthetic(spec);
-  EXPECT_THROW(BatchLoader(data.train, 0, util::Rng(1)), std::invalid_argument);
+  const DatasetView view = DatasetView::own(data.train);
+  EXPECT_THROW(BatchLoader(view, 0, util::Rng(1)), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,402 @@
+// Scaling-subsystem tests (DESIGN.md §13): the fixed-shape blocked
+// reduction, zero-copy dataset views, the sparse per-client error store,
+// and the §5b thread-count-invariance contract at a 128-client cohort —
+// synchronous and buffered-async.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/distributed.h"
+#include "core/fedsu_manager.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/protocol_factory.h"
+#include "fl/simulation.h"
+#include "io/serialize.h"
+#include "nn/zoo.h"
+#include "util/reduce.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fedsu {
+namespace {
+
+std::vector<std::span<const float>> views(
+    const std::vector<std::vector<float>>& states) {
+  std::vector<std::span<const float>> v;
+  v.reserve(states.size());
+  for (const auto& s : states) v.emplace_back(s);
+  return v;
+}
+
+std::vector<std::vector<float>> random_states(std::size_t n, std::size_t p,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> states(n);
+  for (auto& s : states) {
+    s.resize(p);
+    for (auto& v : s) v = static_cast<float>(rng.normal());
+  }
+  return states;
+}
+
+// --- util/reduce: the fixed block shape ----------------------------------
+
+TEST(Reduce, SingleBlockMatchesSerialChain) {
+  // n <= kReduceClientBlock must reproduce the historical serial fold
+  // bit for bit — that is what keeps the checked-in 8-client baselines
+  // valid (util/reduce.h).
+  const std::size_t n = util::kReduceClientBlock;
+  const std::size_t p = 17;
+  const auto states = random_states(n, p, 7);
+  std::vector<double> sums(p, 0.0);
+  util::column_sums(views(states), sums, &util::ThreadPool::global());
+  std::vector<float> means(p, 0.0f);
+  util::column_means(views(states), means, &util::ThreadPool::global());
+  for (std::size_t j = 0; j < p; ++j) {
+    double serial = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      serial += static_cast<double>(states[i][j]);
+    }
+    ASSERT_EQ(sums[j], serial) << "column " << j;
+    ASSERT_EQ(means[j], static_cast<float>(serial * (1.0 / n)))
+        << "column " << j;
+  }
+}
+
+TEST(Reduce, BitwiseInvariantAcrossThreadCounts) {
+  // The §5b extension: for ANY cohort size the result is a function of
+  // (n, p) alone, never of the worker count.
+  const std::size_t n = 3 * util::kReduceClientBlock + 5;  // multi-block
+  const std::size_t p = 41;
+  const auto states = random_states(n, p, 11);
+  std::vector<float> reference;
+  for (const int threads : {1, 4, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<float> means(p, 0.0f);
+    util::column_means(views(states), means, &util::ThreadPool::global());
+    if (reference.empty()) {
+      reference = means;
+    } else {
+      ASSERT_EQ(means, reference) << "threads=" << threads;
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(Reduce, BlockedSumMatchesColumnShape) {
+  // blocked_sum over a gathered column must equal column_sums over the
+  // same values laid out as width-1 rows: pass 2 of FedSuManager relies on
+  // the two walking the identical block tree.
+  const std::size_t n = 2 * util::kReduceClientBlock + 9;
+  util::Rng rng(13);
+  std::vector<float> column(n);
+  for (auto& v : column) v = static_cast<float>(rng.normal());
+  std::vector<std::span<const float>> rows;
+  for (const float& v : column) rows.emplace_back(&v, 1);
+  std::vector<double> sum(1, 0.0);
+  util::column_sums(rows, sum, &util::ThreadPool::global());
+  EXPECT_EQ(util::blocked_sum(column), sum[0]);
+}
+
+// --- data: zero-copy views -----------------------------------------------
+
+TEST(DatasetView, GatherBitIdenticalToSubsetCopy) {
+  data::SyntheticSpec spec;
+  spec.train_count = 120;
+  spec.test_count = 10;
+  spec.image_size = 6;
+  const auto data = data::generate_synthetic(spec);
+  const auto parent = std::make_shared<const data::Dataset>(data.train);
+  data::PartitionOptions part;
+  part.num_clients = 5;
+  auto shards = data::dirichlet_partition(*parent, part);
+
+  for (const auto& rows : shards) {
+    const data::DatasetView view(parent, rows);
+    const data::Dataset copy = parent->subset(rows);
+    ASSERT_EQ(view.size(), copy.size());
+    // Same batch through both paths: the bytes must match exactly.
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < view.size(); i += 2) indices.push_back(i);
+    tensor::Tensor view_batch, copy_batch;
+    std::vector<int> view_labels, copy_labels;
+    view.gather(indices, view_batch, view_labels);
+    copy.gather(indices, copy_batch, copy_labels);
+    ASSERT_EQ(view_labels, copy_labels);
+    ASSERT_EQ(view_batch.size(), copy_batch.size());
+    ASSERT_EQ(std::memcmp(view_batch.data(), copy_batch.data(),
+                          view_batch.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(DatasetView, ClientTrainsIdenticallyThroughViewAndCopy) {
+  data::SyntheticSpec spec;
+  spec.train_count = 80;
+  spec.test_count = 10;
+  spec.image_size = 8;
+  const auto data = data::generate_synthetic(spec);
+  const auto parent = std::make_shared<const data::Dataset>(data.train);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 3; i < 60; i += 2) rows.push_back(i);
+
+  fl::Client view_client(0, data::DatasetView(parent, rows), 8, util::Rng(4));
+  fl::Client copy_client(0, parent->subset(rows), 8, util::Rng(4));
+
+  nn::ModelSpec mspec;
+  mspec.arch = "mlp";
+  mspec.image_size = 8;
+  mspec.hidden = 12;
+  nn::Model model_a = nn::build_model(mspec, util::Rng(21));
+  nn::Model model_b = nn::build_model(mspec, util::Rng(21));
+
+  fl::LocalTrainOptions local;
+  local.iterations = 6;
+  local.batch_size = 8;
+  local.learning_rate = 0.05f;
+  const float loss_a = view_client.train_round(model_a, local);
+  const float loss_b = copy_client.train_round(model_b, local);
+  EXPECT_EQ(loss_a, loss_b);
+  EXPECT_EQ(model_a.state_vector(), model_b.state_vector());
+}
+
+// --- core: the sparse error store ----------------------------------------
+
+TEST(SparseErrorStore, LazyAllocationAndRelease) {
+  core::SparseErrorStore store;
+  store.reset(4, 6);
+  EXPECT_EQ(store.allocated_slabs(), 0u);
+  EXPECT_EQ(store.value(2, 3), 0.0f);
+
+  float* slab = store.ensure(2);
+  ASSERT_NE(slab, nullptr);
+  slab[3] = 1.5f;
+  EXPECT_EQ(store.allocated_slabs(), 1u);
+  EXPECT_EQ(store.value(2, 3), 1.5f);
+  EXPECT_EQ(store.resident_bytes(), 6 * sizeof(float));
+
+  store.clear_param(3);  // only allocated slabs are touched
+  EXPECT_EQ(store.value(2, 3), 0.0f);
+
+  store.release(2);
+  EXPECT_EQ(store.allocated_slabs(), 0u);
+  EXPECT_EQ(store.slab(2), nullptr);
+
+  store.add_client();
+  EXPECT_EQ(store.num_clients(), 5);
+  EXPECT_EQ(store.value(4, 0), 0.0f);
+}
+
+TEST(SparseErrorStore, SerializeRoundTrip) {
+  core::SparseErrorStore store;
+  store.reset(5, 3);
+  store.ensure(1)[0] = -2.0f;
+  store.ensure(4)[2] = 0.25f;
+
+  io::BinaryWriter writer;
+  store.serialize(writer);
+  io::BinaryReader reader(writer.buffer());
+  core::SparseErrorStore restored;
+  restored.deserialize(reader, 5, 3);
+
+  EXPECT_EQ(restored.allocated_slabs(), 2u);
+  for (int c = 0; c < 5; ++c) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ASSERT_EQ(restored.value(c, j), store.value(c, j))
+          << "client " << c << " param " << j;
+    }
+  }
+  // Unallocated clients stay unallocated after the trip.
+  EXPECT_EQ(restored.slab(0), nullptr);
+  EXPECT_EQ(restored.slab(2), nullptr);
+}
+
+// Drives a manager until error slabs exist, then checks the snapshot
+// carries them and a rejoin releases them.
+core::FedSuManager warmed_manager(int clients, int rounds, std::size_t p) {
+  core::FedSuOptions options;
+  options.warmup = 3;
+  core::FedSuManager manager(clients, options);
+  std::vector<float> global(p, 0.0f);
+  manager.initialize(global);
+  util::Rng rng(17);
+  std::vector<float> state = global;
+  for (int r = 0; r < rounds; ++r) {
+    compress::RoundContext ctx;
+    ctx.round = r;
+    std::vector<std::vector<float>> locals(clients);
+    for (int i = 0; i < clients; ++i) {
+      locals[i].resize(p);
+      for (std::size_t j = 0; j < p; ++j) {
+        // Even params drift exactly linearly until round 6 (promoted),
+        // then pick up small client-skewed noise: speculation now mispredicts
+        // slightly, so the error slabs actually allocate. Odd params stay
+        // noisy and unpredictable throughout.
+        float drift;
+        if (j % 2 == 0) {
+          drift = r < 6 ? 0.125f
+                        : 0.125f + static_cast<float>(0.02 * rng.normal() +
+                                                      0.005 * (i + 1));
+        } else {
+          drift = static_cast<float>(0.1 * rng.normal() + 0.01 * i);
+        }
+        locals[i][j] = state[j] + drift;
+      }
+      ctx.participants.push_back(i);
+    }
+    state = manager.synchronize(ctx, views(locals)).new_global;
+  }
+  return manager;
+}
+
+TEST(SparseErrorStore, SnapshotRestoresSlabsExactly) {
+  core::FedSuManager original = warmed_manager(3, 12, 8);
+  ASSERT_GT(original.error_store().allocated_slabs(), 0u)
+      << "driver failed to accumulate any error";
+
+  const auto snapshot = original.snapshot();
+  core::FedSuManager restored(3);
+  std::vector<float> dummy(8, 0.0f);
+  restored.initialize(dummy);
+  restored.restore(snapshot);
+
+  const auto& a = original.error_store();
+  const auto& b = restored.error_store();
+  ASSERT_EQ(b.allocated_slabs(), a.allocated_slabs());
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_EQ(b.slab(c) == nullptr, a.slab(c) == nullptr) << "client " << c;
+    for (std::size_t j = 0; j < 8; ++j) {
+      ASSERT_EQ(b.value(c, j), a.value(c, j))
+          << "client " << c << " param " << j;
+    }
+  }
+}
+
+TEST(SparseErrorStore, RejoinReleasesTheSlab) {
+  core::FedSuManager manager = warmed_manager(3, 12, 8);
+  const std::size_t before = manager.error_store().allocated_slabs();
+  ASSERT_GT(before, 0u);
+  int victim = -1;
+  for (int c = 0; c < 3; ++c) {
+    if (manager.error_store().slab(c) != nullptr) victim = c;
+  }
+  manager.on_client_rejoin(victim);
+  EXPECT_EQ(manager.error_store().allocated_slabs(), before - 1);
+  EXPECT_EQ(manager.error_store().slab(victim), nullptr);
+}
+
+// --- distributed parity past one reduction block -------------------------
+
+TEST(Distributed, MatchesCentralizedBeyondOneBlock) {
+  // 40 clients > kReduceClientBlock: the server's multi-block tree must
+  // still mirror the centralized manager exactly (§5b extension).
+  const std::size_t p = 12;
+  const int clients = 40;
+  static_assert(40 > static_cast<int>(util::kReduceClientBlock));
+  core::FedSuOptions options;
+  options.warmup = 3;
+
+  core::FedSuManager centralized(clients, options);
+  std::vector<float> global(p, 0.0f);
+  centralized.initialize(global);
+  core::FedSuServer server;
+  std::vector<core::FedSuClientManager> managers;
+  for (int i = 0; i < clients; ++i) {
+    managers.emplace_back(p, options);
+    managers.back().initialize(global);
+  }
+
+  util::Rng rng(29);
+  std::vector<float> central_state = global;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::vector<float>> locals(clients);
+    for (int i = 0; i < clients; ++i) {
+      locals[i].resize(p);
+      for (std::size_t j = 0; j < p; ++j) {
+        const float drift = (j % 3 == 0)
+                                ? 0.125f
+                                : static_cast<float>(0.2 * rng.normal());
+        locals[i][j] = central_state[j] + drift +
+                       static_cast<float>(0.01 * (i % 5));
+      }
+    }
+
+    compress::RoundContext ctx;
+    ctx.round = round;
+    for (int i = 0; i < clients; ++i) ctx.participants.push_back(i);
+    const auto central_result = centralized.synchronize(ctx, views(locals));
+
+    std::vector<core::FedSuUpload> uploads;
+    for (int i = 0; i < clients; ++i) {
+      uploads.push_back(managers[i].begin_sync(locals[i]));
+    }
+    const core::FedSuDownload download = server.aggregate(uploads);
+    for (int i = 0; i < clients; ++i) {
+      ASSERT_EQ(managers[i].finish_sync(download), central_result.new_global)
+          << "client " << i << " round " << round;
+    }
+    central_state = central_result.new_global;
+  }
+}
+
+// --- fl: §5b at cohort scale ---------------------------------------------
+
+fl::SimulationOptions cohort_options(int clients, int threads, bool async) {
+  fl::SimulationOptions options;
+  options.model.arch = "mlp";
+  options.model.image_size = 8;
+  options.model.hidden = 10;
+  options.dataset.image_size = 8;
+  options.dataset.train_count = 4 * clients;
+  options.dataset.test_count = 60;
+  options.num_clients = clients;
+  options.participation_fraction = 0.5;
+  options.local.iterations = 2;
+  options.local.batch_size = 4;
+  options.local.learning_rate = 0.05f;
+  options.eval_every = 0;
+  options.threads = threads;
+  options.async.enabled = async;
+  return options;
+}
+
+void expect_thread_invariance(bool async) {
+  std::vector<float> reference;
+  std::uint64_t reference_bytes = 0;
+  for (const int threads : {1, 4, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    fl::ProtocolConfig pc;
+    pc.name = "fedsu";
+    pc.num_clients = 128;
+    fl::Simulation sim(cohort_options(128, threads, async),
+                       fl::make_protocol(pc));
+    std::uint64_t bytes = 0;
+    for (int r = 0; r < 4; ++r) {
+      const auto record = sim.step();
+      bytes += record.bytes_up + record.bytes_down;
+    }
+    if (reference.empty()) {
+      reference = sim.global_state();
+      reference_bytes = bytes;
+    } else {
+      ASSERT_EQ(sim.global_state(), reference) << "threads=" << threads;
+      ASSERT_EQ(bytes, reference_bytes) << "threads=" << threads;
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(Simulation, Cohort128BitwiseIdenticalAcrossThreadCountsSync) {
+  expect_thread_invariance(/*async=*/false);
+}
+
+TEST(Simulation, Cohort128BitwiseIdenticalAcrossThreadCountsAsync) {
+  expect_thread_invariance(/*async=*/true);
+}
+
+}  // namespace
+}  // namespace fedsu

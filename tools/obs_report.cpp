@@ -18,17 +18,19 @@
 //
 //   ./obs_report --diff baseline.json --against current.json
 //       [--tol-accuracy 0.05] [--tol-bytes-rel 0.10] [--tol-time-rel 0.25]
-//       [--tol-speedup-rel 0]
+//       [--tol-speedup-rel 0] [--tol-mem-rel 0.30]
 //
-// Both files may be bench_robustness JSON (cells matched by
+// Both files may be bench_robustness/bench_scale JSON (cells matched by
 // setting+scheme), bench_gemm JSON (shapes matched by name+variant), or
 // run manifests (runs matched by setting+scheme); the kind is sniffed from
 // the document. Every baseline entry must exist in the current file, and
 // accuracy (absolute), gigabytes and simulated time (relative) must stay
-// within tolerance. GEMM shapes are checked structurally (speedup finite
-// and positive) because shared CI runners are too noisy for GFLOP/s gates;
-// --tol-speedup-rel > 0 opts into a throughput floor for quiet machines.
-// Exit 0 = no regression, 1 = regression or error.
+// within tolerance. Entries that carry a "memory" object on both sides are
+// additionally gated on peak-RSS growth (--tol-mem-rel; one-sided, so a
+// memory win never fails the diff). GEMM shapes are checked structurally
+// (speedup finite and positive) because shared CI runners are too noisy
+// for GFLOP/s gates; --tol-speedup-rel > 0 opts into a throughput floor
+// for quiet machines. Exit 0 = no regression, 1 = regression or error.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -92,6 +94,7 @@ struct Tolerances {
   double bytes_rel = 0.10;   // relative, on total gigabytes
   double time_rel = 0.25;    // relative, on simulated seconds
   double speedup_rel = 0.0;  // relative GEMM speedup floor; 0 = structural
+  double mem_rel = 0.30;     // relative, on peak RSS (when both report it)
 };
 
 double rel_diff(double baseline, double current) {
@@ -121,9 +124,20 @@ struct DiffEntry {
   double accuracy = 0.0;
   double gigabytes = 0.0;
   double sim_time_s = 0.0;
-  double speedup = 0.0;  // gemm only
+  double speedup = 0.0;       // gemm only
+  double peak_rss_bytes = 0;  // 0 = document predates memory reporting
   bool is_gemm = false;
 };
+
+// Optional nested {"memory": {"peak_rss_bytes": ...}} object shared by run
+// manifests and bench_scale cells. Absent (older documents, platforms that
+// cannot sample) leaves the field 0, which disables the memory gate below.
+double load_peak_rss(const JsonValue& node) {
+  if (!node.has("memory")) return 0.0;
+  const JsonValue& mem = node.at("memory");
+  return mem.has("peak_rss_bytes") ? mem.at("peak_rss_bytes").as_number()
+                                   : 0.0;
+}
 
 std::map<std::string, DiffEntry> load_entries(const std::string& path,
                                               const JsonValue& root) {
@@ -142,6 +156,7 @@ std::map<std::string, DiffEntry> load_entries(const std::string& path,
       e.accuracy = cell.at("final_accuracy").as_number();
       e.gigabytes = cell.at("total_gigabytes").as_number();
       e.sim_time_s = cell.at("total_time_s").as_number();
+      e.peak_rss_bytes = load_peak_rss(cell);
       entries[cell.at("setting").as_string() + "/" +
               cell.at("scheme").as_string()] = e;
     }
@@ -151,6 +166,7 @@ std::map<std::string, DiffEntry> load_entries(const std::string& path,
       e.accuracy = run.at("final_accuracy").as_number();
       e.gigabytes = run.at("total_gigabytes").as_number();
       e.sim_time_s = run.at("sim_time_s").as_number();
+      e.peak_rss_bytes = load_peak_rss(run);
       const std::string setting = run.at("setting").as_string();
       entries[(setting.empty() ? "" : setting + "/") +
               run.at("scheme").as_string()] = e;
@@ -202,6 +218,24 @@ int run_diff(const std::string& baseline_path,
                 tol.bytes_rel, /*relative=*/true);
     diff_metric(key, "sim_time_s", base.sim_time_s, cur.sim_time_s,
                 tol.time_rel, /*relative=*/true);
+    // Gated only when both documents report memory: older baselines and
+    // platforms without /proc stay comparable. One-sided — peak RSS going
+    // DOWN is progress, not drift.
+    if (base.peak_rss_bytes > 0.0 && cur.peak_rss_bytes > 0.0 &&
+        tol.mem_rel > 0.0) {
+      if (cur.peak_rss_bytes > base.peak_rss_bytes * (1.0 + tol.mem_rel)) {
+        fail(key + ": peak_rss_bytes grew " +
+             fmt(100.0 * rel_diff(base.peak_rss_bytes, cur.peak_rss_bytes),
+                 1) +
+             "% (baseline " + fmt(base.peak_rss_bytes) + ", current " +
+             fmt(cur.peak_rss_bytes) + ", tolerance " +
+             fmt(100.0 * tol.mem_rel, 1) + "%)");
+      } else {
+        std::printf("ok   %-40s %-18s %s -> %s\n", key.c_str(),
+                    "peak_rss_bytes", fmt(base.peak_rss_bytes).c_str(),
+                    fmt(cur.peak_rss_bytes).c_str());
+      }
+    }
   }
   if (g_failures) {
     std::fprintf(stderr, "REGRESSION: %d check(s) failed against %s\n",
@@ -489,7 +523,9 @@ int main(int argc, char** argv) {
       .add_double("tol-time-rel", 0.25,
                   "max relative simulated-time drift in diff mode")
       .add_double("tol-speedup-rel", 0.0,
-                  "GEMM speedup floor vs baseline (0 = structural only)");
+                  "GEMM speedup floor vs baseline (0 = structural only)")
+      .add_double("tol-mem-rel", 0.30,
+                  "max relative peak-RSS growth in diff mode (0 = off)");
   if (!flags.parse(argc, argv)) return 0;
 
   const std::string baseline = flags.get_string("diff");
@@ -504,6 +540,7 @@ int main(int argc, char** argv) {
     tol.bytes_rel = flags.get_double("tol-bytes-rel");
     tol.time_rel = flags.get_double("tol-time-rel");
     tol.speedup_rel = flags.get_double("tol-speedup-rel");
+    tol.mem_rel = flags.get_double("tol-mem-rel");
     return run_diff(baseline, current, tol);
   }
   if (flags.get_string("manifest").empty()) {
