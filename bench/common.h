@@ -89,6 +89,13 @@ struct BenchConfig {
   bool async_mode = false;
   int buffer_k = 0;
   double staleness_alpha = 0.5;
+  // Crash recovery (docs/RECOVERY.md). checkpoint_every > 0 writes a run
+  // checkpoint into checkpoint_dir every N rounds; --resume asks the bench
+  // to restore the latest checkpoint there before the round loop (honored
+  // by bench_recovery; ignored by benches that never crash mid-run).
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 inline util::Flags make_flags(const BenchConfig& defaults) {
@@ -188,6 +195,17 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
                "fault schedule seed (mixed with --seed)")
       .add_string("faults-trace", defaults.faults.trace_csv,
                   "CSV fault trace (round,client,event,value)")
+      .add_int("faults-server-crash-at", defaults.faults.server_crash_at,
+               "crash the server at the start of this round (-1 = never)")
+      .add_double("faults-server-crash",
+                  defaults.faults.server_crash_probability,
+                  "per-round server-crash probability")
+      .add_int("checkpoint-every", defaults.checkpoint_every,
+               "write a run checkpoint every N rounds (0 = off)")
+      .add_string("checkpoint-dir", defaults.checkpoint_dir,
+                  "directory for run checkpoints (ckpt-NNNNNNNN.fedsu)")
+      .add_bool("resume", defaults.resume,
+                "resume from the latest checkpoint in --checkpoint-dir")
       .add_bool("async", defaults.async_mode,
                 "buffered-async rounds: aggregate the first K uploads")
       .add_int("buffer-k", defaults.buffer_k,
@@ -296,6 +314,21 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
       static_cast<int>(flags.get_int("faults-min-quorum"));
   config.faults.seed = static_cast<std::uint64_t>(flags.get_int("faults-seed"));
   config.faults.trace_csv = flags.get_string("faults-trace");
+  config.faults.server_crash_at =
+      static_cast<int>(flags.get_int("faults-server-crash-at"));
+  config.faults.server_crash_probability =
+      flags.get_double("faults-server-crash");
+  config.checkpoint_every = static_cast<int>(flags.get_int("checkpoint-every"));
+  config.checkpoint_dir = flags.get_string("checkpoint-dir");
+  config.resume = flags.get_bool("resume");
+  if (config.resume) {
+    // A resumed process is a new server: the crash plan described the life
+    // of the one that died (docs/FAULT_MODEL.md §7). server_crash(round) is
+    // a pure function of (seed, round), so without this the resumed run
+    // would re-crash at the same scheduled round forever.
+    config.faults.server_crash_at = -1;
+    config.faults.server_crash_probability = 0.0;
+  }
   config.async_mode = flags.get_bool("async");
   config.buffer_k = static_cast<int>(flags.get_int("buffer-k"));
   config.staleness_alpha = flags.get_double("staleness-alpha");
@@ -337,6 +370,8 @@ inline fl::SimulationOptions simulation_options(const BenchConfig& config) {
   options.async.enabled = config.async_mode;
   options.async.buffer_k = config.buffer_k;
   options.async.staleness_alpha = config.staleness_alpha;
+  options.checkpoint.every = config.checkpoint_every;
+  options.checkpoint.dir = config.checkpoint_dir;
   return options;
 }
 
@@ -437,6 +472,10 @@ class RunObservatory {
   // simulation, not just the record) and the periodic metrics flush.
   void after_round(const fl::Simulation& sim, const fl::RoundRecord& record) {
     if (monitor_) monitor_->observe_model(record.round, sim.global_state());
+    if (record.checkpoint) {
+      if (record.checkpoint->ok) ++checkpoints_written_;
+      else ++checkpoint_failures_;
+    }
     // Keep the obs.mem.* gauges fresh round to round so a periodic metrics
     // flush (and any scraper of the snapshot) sees live memory, not just
     // the teardown value. Reads /proc only — never perturbs the run (§5b).
@@ -509,10 +548,29 @@ class RunObservatory {
     manifest_->add_run(std::move(agg));
   }
 
+  // Records that this process restored a checkpoint (bench_recovery) so the
+  // manifest's recovery object carries the resume provenance.
+  void note_resumed(int from_round, const std::string& path) {
+    resumed_ = true;
+    resumed_from_round_ = from_round;
+    resumed_path_ = path;
+  }
+
   // Stamps the outcome and writes the manifest; call once, after the last
   // cell (export_observability still writes metrics/trace).
   void finish(bool ok) {
     if (!manifest_) return;
+    if (resumed_ || config_.checkpoint_every > 0) {
+      obs::RunRecovery recovery;
+      recovery.resumed = resumed_;
+      recovery.resumed_from_round = resumed_from_round_;
+      recovery.resumed_path = resumed_path_;
+      recovery.checkpoint_every = config_.checkpoint_every;
+      recovery.checkpoint_dir = config_.checkpoint_dir;
+      recovery.checkpoints_written = checkpoints_written_;
+      recovery.checkpoint_failures = checkpoint_failures_;
+      manifest_->set_recovery(std::move(recovery));
+    }
     manifest_->set_outcome(ok ? "ok" : "failed");
     manifest_->write(config_.manifest_out);
     std::printf("manifest written to %s\n", config_.manifest_out.c_str());
@@ -525,6 +583,11 @@ class RunObservatory {
   std::optional<obs::RunManifest> manifest_;
   int alert_base_[3] = {0, 0, 0};
   long long rounds_seen_ = 0;
+  int checkpoints_written_ = 0;
+  int checkpoint_failures_ = 0;
+  bool resumed_ = false;
+  int resumed_from_round_ = -1;
+  std::string resumed_path_;
 };
 
 // Runs one scheme end-to-end. When `target` is set, the run still completes

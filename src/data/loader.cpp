@@ -1,6 +1,7 @@
 #include "data/loader.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace fedsu::data {
@@ -15,6 +16,30 @@ BatchLoader::BatchLoader(const DatasetView& view, int batch_size, util::Rng rng)
 void BatchLoader::reshuffle() {
   order_ = rng_.permutation(view_.size());
   cursor_ = 0;
+}
+
+void BatchLoader::serialize(io::BinaryWriter& writer) const {
+  const auto words = rng_.state_words();
+  for (const std::uint64_t w : words) writer.write_u64(w);
+  writer.write_vector(order_);
+  writer.write_u64(cursor_);
+  writer.write_u64(epochs_);
+}
+
+void BatchLoader::deserialize(io::BinaryReader& reader) {
+  std::array<std::uint64_t, util::Rng::kStateWords> words{};
+  for (auto& w : words) w = reader.read_u64();
+  auto order = reader.read_vector<std::size_t>();
+  const std::uint64_t cursor = reader.read_u64();
+  const std::uint64_t epochs = reader.read_u64();
+  if (order.size() != view_.size() || cursor > order.size()) {
+    throw std::runtime_error(
+        "BatchLoader: snapshot does not match this shard");
+  }
+  rng_.restore_state_words(words);
+  order_ = std::move(order);
+  cursor_ = static_cast<std::size_t>(cursor);
+  epochs_ = static_cast<std::size_t>(epochs);
 }
 
 void BatchLoader::next(tensor::Tensor& batch, std::vector<int>& labels) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "io/serialize.h"
 #include "util/rng.h"
 
 namespace fedsu::data {
@@ -23,6 +24,15 @@ class BatchLoader {
 
   int batch_size() const { return batch_size_; }
   std::size_t epochs_completed() const { return epochs_; }
+
+  // Checkpoint support. The epoch permutation cannot be re-derived from the
+  // seed alone — the constructor shuffles immediately and every epoch
+  // boundary consumes RNG draws mid-stream — so serialize() captures the
+  // RNG words, the current `order_`, the cursor, and the epoch count.
+  // deserialize() restores them; the view itself is rebuilt by the caller
+  // (the shard partition is seed-deterministic).
+  void serialize(io::BinaryWriter& writer) const;
+  void deserialize(io::BinaryReader& reader);
 
  private:
   void reshuffle();

@@ -50,6 +50,11 @@ class Client {
   // already hold the current global state. Returns the mean training loss.
   float train_round(nn::Model& model, const LocalTrainOptions& options);
 
+  // Checkpoint support: the client's only mutable state is its batch
+  // loader (shuffle RNG + epoch permutation + cursor).
+  void serialize(io::BinaryWriter& writer) const { loader_.serialize(writer); }
+  void deserialize(io::BinaryReader& reader) { loader_.deserialize(reader); }
+
  private:
   void apply_proximal_term(nn::Model& model,
                            const std::vector<float>& anchor,

@@ -36,6 +36,8 @@ FaultPlan::FaultPlan(FaultOptions options) : options_(std::move(options)) {
                     "upload_loss_probability");
   check_probability(options_.corruption_probability, "corruption_probability");
   check_probability(options_.over_select_fraction, "over_select_fraction");
+  check_probability(options_.server_crash_probability,
+                    "server_crash_probability");
   if (options_.crash_rounds_min < 1 ||
       options_.crash_rounds_max < options_.crash_rounds_min) {
     throw std::invalid_argument(
@@ -95,6 +97,8 @@ FaultPlan::FaultPlan(FaultOptions options) : options_(std::move(options)) {
         ev.kind = TraceEvent::Kind::kLoseUpload;
       } else if (event == "corrupt") {
         ev.kind = TraceEvent::Kind::kCorrupt;
+      } else if (event == "server-crash") {
+        ev.kind = TraceEvent::Kind::kServerCrash;
       } else {
         throw std::runtime_error("FaultPlan: unknown event '" + event +
                                  "' on trace line " + std::to_string(line_no));
@@ -107,12 +111,51 @@ FaultPlan::FaultPlan(FaultOptions options) : options_(std::move(options)) {
     }
   }
 
+  // enabled_ gates only the *client*-fault machinery: server-crash events
+  // (knobs or trace lines) must not engage it, or a server-faults-only run
+  // would change its telemetry/record format.
+  bool trace_has_client_events = false;
+  bool trace_has_server_crash = false;
+  for (const auto& [round, events] : trace_) {
+    for (const TraceEvent& ev : events) {
+      if (ev.kind == TraceEvent::Kind::kServerCrash) {
+        trace_has_server_crash = true;
+      } else {
+        trace_has_client_events = true;
+      }
+    }
+  }
   enabled_ = options_.crash_probability > 0.0 ||
              options_.straggler_probability > 0.0 ||
              options_.upload_loss_probability > 0.0 ||
              options_.corruption_probability > 0.0 ||
              options_.deadline_s > 0.0 ||
-             options_.over_select_fraction > 0.0 || !trace_.empty();
+             options_.over_select_fraction > 0.0 || trace_has_client_events;
+  server_faults_enabled_ = options_.server_crash_at >= 0 ||
+                           options_.server_crash_probability > 0.0 ||
+                           trace_has_server_crash;
+}
+
+bool FaultPlan::server_crash(int round) const {
+  if (round < 0 || !server_faults_enabled_) return false;
+  if (options_.server_crash_at >= 0 && round == options_.server_crash_at) {
+    return true;
+  }
+  if (auto it = trace_.find(round); it != trace_.end()) {
+    for (const TraceEvent& ev : it->second) {
+      if (ev.kind == TraceEvent::Kind::kServerCrash) return true;
+    }
+  }
+  if (options_.server_crash_probability > 0.0) {
+    // Same stateless (seed, round) keying as the client families, salted so
+    // the server stream never collides with a client's (client streams XOR
+    // in 0xbf58476d1ce4e5b9 * (c + 1); this salt is outside that family).
+    util::Rng draw(options_.seed ^ 0x5e12c7a5d00dfeedULL ^
+                   (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(round) + 1)));
+    return draw.bernoulli(options_.server_crash_probability);
+  }
+  return false;
 }
 
 void FaultPlan::begin_round(int round, int num_clients) {
@@ -200,10 +243,14 @@ void FaultPlan::begin_round(int round, int num_clients) {
     }
   }
 
-  // Non-crash trace events override the probabilistic draws.
+  // Non-crash trace events override the probabilistic draws. Server
+  // crashes are not per-client events; begin_round ignores them entirely.
   if (auto it = trace_.find(round); it != trace_.end()) {
     for (const TraceEvent& ev : it->second) {
-      if (ev.kind == TraceEvent::Kind::kCrash) continue;
+      if (ev.kind == TraceEvent::Kind::kCrash ||
+          ev.kind == TraceEvent::Kind::kServerCrash) {
+        continue;
+      }
       if (ev.client >= num_clients) continue;
       ClientFault& f = current_[static_cast<std::size_t>(ev.client)];
       if (f.absent) continue;  // a crashed client has no round to perturb
@@ -232,6 +279,7 @@ void FaultPlan::begin_round(int round, int num_clients) {
           f.corrupt = f.delivered;
           break;
         case TraceEvent::Kind::kCrash:
+        case TraceEvent::Kind::kServerCrash:
           break;
       }
     }

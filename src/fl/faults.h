@@ -55,15 +55,29 @@ struct FaultOptions {
   double deadline_s = 0.0;
   double over_select_fraction = 0.0;
   int min_quorum = 1;
+  // Server-side fault family (docs/FAULT_MODEL.md §7): the *server* dies at
+  // the start of round/cycle k. A crash terminates the run (the process
+  // exits; recovery is resuming from the last checkpoint — docs/RECOVERY.md),
+  // so unlike client faults there is no per-round state machine: the event
+  // is a pure function of (seed, round). server_crash_at pins a single
+  // deterministic crash round (< 0 disables); server_crash_probability
+  // draws per round from a stream keyed on (seed, round) — the same
+  // stateless keying as the client families, salted so the server stream
+  // never collides with any client's. These knobs deliberately do NOT flip
+  // enabled(): they engage no client-fault machinery and leave the
+  // telemetry/record format untouched.
+  int server_crash_at = -1;
+  double server_crash_probability = 0.0;
   std::uint64_t seed = 0x5eedfa17ULL;
   // Optional CSV trace of explicit events, applied on top of (and taking
   // precedence over) the probabilistic draws. Format, one event per line:
   //   round,client,event,value
   // with event in {crash, straggle-compute, straggle-comm, lose-upload,
-  // corrupt}. Values: crash = rounds absent; straggle-* = time multiplier;
-  // lose-upload = attempts needed to deliver (0 or > max_retries + 1 means
-  // never delivered); corrupt ignores the value. Lines starting with '#'
-  // and a leading "round,client,..." header are skipped.
+  // corrupt, server-crash}. Values: crash = rounds absent; straggle-* =
+  // time multiplier; lose-upload = attempts needed to deliver (0 or >
+  // max_retries + 1 means never delivered); corrupt and server-crash ignore
+  // the value (server-crash also ignores the client column). Lines starting
+  // with '#' and a leading "round,client,..." header are skipped.
   std::string trace_csv;
 };
 
@@ -87,6 +101,16 @@ class FaultPlan {
   bool enabled() const { return enabled_; }
   const FaultOptions& options() const { return options_; }
 
+  // True when any server-crash source is configured (fixed round,
+  // probability, or a trace event). Kept separate from enabled(): server
+  // faults engage none of the client-fault branches.
+  bool server_faults_enabled() const { return server_faults_enabled_; }
+
+  // Does the server die at the start of `round`? Pure function of
+  // (seed, round) — stateless, so it may be queried any number of times
+  // (including after a resume) and always answers the same.
+  bool server_crash(int round) const;
+
   // Resolves every fault for `round` across clients [0, num_clients).
   // Call once per round from the (sequential) round loop with
   // non-decreasing rounds: the crash state machine advances here. All
@@ -108,11 +132,21 @@ class FaultPlan {
   };
   const RoundSummary& round_summary() const { return summary_; }
 
+  // Checkpoint support: the crash/rejoin state machine (`down_until_`) is
+  // the plan's only cross-round state. Everything else is re-derived from
+  // (seed, round, client) keys, so snapshotting these ints is sufficient to
+  // resume the fault schedule byte-exactly mid-run.
+  const std::vector<int>& churn_state() const { return down_until_; }
+  void restore_churn_state(std::vector<int> down_until) {
+    down_until_ = std::move(down_until);
+  }
+
  private:
   void apply_trace(int round, int num_clients);
 
   FaultOptions options_;
   bool enabled_ = false;
+  bool server_faults_enabled_ = false;
   std::vector<ClientFault> current_;
   // down_until_[c] > round means client c is absent in `round`; a client
   // whose down_until_ equals the current round rejoins in it.
@@ -122,7 +156,7 @@ class FaultPlan {
   struct TraceEvent {
     int client = 0;
     enum class Kind { kCrash, kStraggleCompute, kStraggleComm, kLoseUpload,
-                      kCorrupt } kind = Kind::kCrash;
+                      kCorrupt, kServerCrash } kind = Kind::kCrash;
     double value = 0.0;
   };
   std::unordered_map<int, std::vector<TraceEvent>> trace_;  // keyed by round

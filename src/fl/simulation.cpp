@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "compress/wire.h"
+#include "io/checkpoint.h"
+#include "io/serialize.h"
 #include "net/round_timeline.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
@@ -239,13 +241,54 @@ RoundRecord Simulation::stalled_round(int round, double round_time,
   if (options_.eval_every > 0 && (round_ % options_.eval_every == 0)) {
     record.test_accuracy = evaluate();
   }
-  if (round_hook_) round_hook_(record);
   return record;
 }
 
 RoundRecord Simulation::step() {
-  if (options_.async.enabled && !async_barrier_) return step_async();
-  return step_sync();
+  // Server-crash fault family (docs/FAULT_MODEL.md §7): the server dies at
+  // the start of the round, before any client is dispatched — the previous
+  // round's state (and its checkpoint, if one was written) is the recovery
+  // frontier.
+  if (faults_.server_faults_enabled() && faults_.server_crash(round_)) {
+    throw ServerCrashed(round_);
+  }
+  RoundRecord record = (options_.async.enabled && !async_barrier_)
+                           ? step_async()
+                           : step_sync();
+  // Checkpoint before the hook fires so telemetry and the health monitor
+  // see the write outcome on the round it happened.
+  maybe_checkpoint(record);
+  if (round_hook_) round_hook_(record);
+  return record;
+}
+
+void Simulation::maybe_checkpoint(RoundRecord& record) {
+  const int every = options_.checkpoint.every;
+  if (every <= 0 || round_ % every != 0) return;
+  RoundRecord::CheckpointEvent ev;
+  ev.round = round_;
+  try {
+    const std::vector<std::uint8_t> payload = snapshot_state();
+    ev.bytes = payload.size();
+    ev.path = io::save_run_checkpoint(options_.checkpoint.dir, round_, payload);
+    ev.ok = true;
+  } catch (const std::exception& e) {
+    // A failed write never kills the run (losing training to a full disk
+    // would invert the feature's purpose); the record carries the
+    // diagnostic and the health monitor raises a critical alert.
+    ev.ok = false;
+    ev.error = e.what();
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    if (ev.ok) {
+      reg.counter("checkpoint.writes").add(1);
+      reg.counter("checkpoint.bytes").add(ev.bytes);
+    } else {
+      reg.counter("checkpoint.failures").add(1);
+    }
+  }
+  record.checkpoint = std::move(ev);
 }
 
 RoundRecord Simulation::step_sync() {
@@ -543,7 +586,6 @@ RoundRecord Simulation::step_sync() {
     reg.counter("fl.round.bytes_up").add(record.bytes_up);
     reg.counter("fl.round.bytes_down").add(record.bytes_down);
   }
-  if (round_hook_) round_hook_(record);
   return record;
 }
 
@@ -816,7 +858,6 @@ RoundRecord Simulation::step_async() {
       wall.total_s = wall_sw.elapsed_seconds();
       record.wall = wall;
     }
-    if (round_hook_) round_hook_(record);
     return record;
   }
 
@@ -1029,7 +1070,6 @@ RoundRecord Simulation::step_async() {
       }
     }
   }
-  if (round_hook_) round_hook_(record);
   return record;
 }
 
@@ -1143,6 +1183,262 @@ void Simulation::drop_client(int client_id) {
     throw std::out_of_range("Simulation::drop_client: bad id");
   }
   active_[static_cast<std::size_t>(client_id)] = false;
+}
+
+// ---------------------------------------------------------------------------
+// Run-checkpoint payload (docs/RECOVERY.md). Five magic-tagged sections in
+// fixed order: sim core, protocol snapshot, client loaders, fault-plan churn
+// state, and (async runs only) the in-flight frontier. Everything NOT here —
+// shards, network model, selection and fault RNGs, worker replicas — is a
+// pure function of SimulationOptions and the stored round counter, so it is
+// validated against the snapshot instead of stored in it.
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kSnapCoreMagic = 0xFED5'C401;
+constexpr std::uint32_t kSnapProtocolMagic = 0xFED5'C402;
+constexpr std::uint32_t kSnapClientsMagic = 0xFED5'C403;
+constexpr std::uint32_t kSnapFaultsMagic = 0xFED5'C404;
+constexpr std::uint32_t kSnapAsyncMagic = 0xFED5'C405;
+}  // namespace
+
+std::vector<std::uint8_t> Simulation::snapshot_state() const {
+  io::BinaryWriter writer;
+
+  // Section 1: sim core + the identity fingerprint restore validates.
+  writer.write_magic(kSnapCoreMagic);
+  writer.write_string(protocol_->name());
+  writer.write_u64(options_.seed);
+  writer.write_i32(static_cast<std::int32_t>(clients_.size()));
+  writer.write_bool(options_.async.enabled && !async_barrier_);
+  writer.write_i32(round_);
+  writer.write_i32(model_version_);
+  writer.write_f64(elapsed_time_s_);
+  writer.write_f64(last_mean_payload_bytes_);
+  writer.write_vector(global_);
+  {
+    std::vector<std::uint8_t> active(active_.size());
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      active[i] = active_[i] ? 1 : 0;
+    }
+    writer.write_vector(active);
+  }
+
+  // Section 2: the protocol's own snapshot (for FedSU: promotion/demotion
+  // phase state, SparseErrorStore slabs, rejoin stamps — magic 0xFED50003).
+  writer.write_magic(kSnapProtocolMagic);
+  writer.write_vector(protocol_->snapshot());
+
+  // Section 3: per-client batch-loader state (shuffle RNG words, epoch
+  // permutation, cursor). The shards themselves re-derive from the seed.
+  writer.write_magic(kSnapClientsMagic);
+  writer.write_u64(clients_.size());
+  for (const auto& client : clients_) client->serialize(writer);
+
+  // Section 4: fault-plan churn state — the only stateful part of the
+  // fault schedule (everything else is (seed, round, client)-keyed).
+  writer.write_magic(kSnapFaultsMagic);
+  {
+    const std::vector<int>& down = faults_.churn_state();
+    std::vector<std::int32_t> down32(down.begin(), down.end());
+    writer.write_vector(down32);
+  }
+
+  // Section 5: the async in-flight frontier, so restore does not require a
+  // quiescent server. Dispatch-era globals are deduplicated by identity
+  // (legs dispatched in one cycle share one snapshot); restoring
+  // content-identical vectors preserves the re-base arithmetic bitwise.
+  if (options_.async.enabled && !async_barrier_) {
+    writer.write_magic(kSnapAsyncMagic);
+    {
+      std::vector<std::uint8_t> busy(client_busy_.begin(), client_busy_.end());
+      writer.write_vector(busy);
+    }
+    writer.write_vector(client_ready_s_);
+    const std::vector<net::Flow>& flows = uplink_->flows();
+    writer.write_u64(flows.size());
+    for (const net::Flow& flow : flows) {
+      writer.write_f64(flow.start_time_s);
+      writer.write_f64(flow.bytes);
+      writer.write_f64(flow.rate_cap_bps);
+    }
+    std::vector<const std::vector<float>*> bases;
+    std::vector<std::uint32_t> base_index(inflight_.size(), 0);
+    for (std::size_t e = 0; e < inflight_.size(); ++e) {
+      const std::vector<float>* base = inflight_[e].dispatch_global.get();
+      std::size_t found = bases.size();
+      for (std::size_t b = 0; b < bases.size(); ++b) {
+        if (bases[b] == base) {
+          found = b;
+          break;
+        }
+      }
+      if (found == bases.size()) bases.push_back(base);
+      base_index[e] = static_cast<std::uint32_t>(found);
+    }
+    writer.write_u64(bases.size());
+    for (const std::vector<float>* base : bases) writer.write_vector(*base);
+    writer.write_u64(inflight_.size());
+    for (std::size_t e = 0; e < inflight_.size(); ++e) {
+      const InFlight& leg = inflight_[e];
+      writer.write_i32(leg.client);
+      writer.write_i32(leg.version);
+      writer.write_i32(leg.dispatch_cycle);
+      writer.write_f64(leg.dispatch_s);
+      writer.write_u64(leg.flow);
+      writer.write_i32(leg.attempts);
+      writer.write_f64(leg.comm_factor);
+      writer.write_bool(leg.delivered);
+      writer.write_bool(leg.corrupt);
+      writer.write_f64(leg.loss);
+      writer.write_vector(leg.state);
+      writer.write_u32(base_index[e]);
+    }
+  }
+
+  return writer.take();
+}
+
+void Simulation::restore_state(const std::vector<std::uint8_t>& payload) {
+  io::BinaryReader reader(payload);
+
+  // Parse + validate everything into locals first: a mismatch anywhere
+  // must leave the simulation untouched, never half-restored.
+  reader.expect_magic(kSnapCoreMagic, "run-checkpoint core section");
+  const std::string protocol_name = reader.read_string();
+  if (protocol_name != protocol_->name()) {
+    throw std::runtime_error("Simulation::restore_state: snapshot is for '" +
+                             protocol_name + "', this run uses '" +
+                             protocol_->name() + "'");
+  }
+  const std::uint64_t seed = reader.read_u64();
+  if (seed != options_.seed) {
+    throw std::runtime_error(
+        "Simulation::restore_state: snapshot seed does not match (resume "
+        "must reuse the original --seed; shards and fault schedules derive "
+        "from it)");
+  }
+  const std::int32_t num_clients = reader.read_i32();
+  if (num_clients != static_cast<std::int32_t>(clients_.size())) {
+    throw std::runtime_error(
+        "Simulation::restore_state: snapshot has " +
+        std::to_string(num_clients) + " clients, this run has " +
+        std::to_string(clients_.size()) +
+        " (mid-run add_client joiners are outside the resume frontier)");
+  }
+  const bool snap_async = reader.read_bool();
+  const bool this_async = options_.async.enabled && !async_barrier_;
+  if (snap_async != this_async) {
+    throw std::runtime_error(
+        "Simulation::restore_state: snapshot and run disagree on async "
+        "mode");
+  }
+  const std::int32_t round = reader.read_i32();
+  const std::int32_t model_version = reader.read_i32();
+  const double elapsed = reader.read_f64();
+  const double last_mean_payload = reader.read_f64();
+  std::vector<float> global = reader.read_vector<float>();
+  if (global.size() != global_.size()) {
+    throw std::runtime_error(
+        "Simulation::restore_state: model state size mismatch");
+  }
+  std::vector<std::uint8_t> active = reader.read_vector<std::uint8_t>();
+  if (active.size() != active_.size()) {
+    throw std::runtime_error(
+        "Simulation::restore_state: active-set size mismatch");
+  }
+
+  reader.expect_magic(kSnapProtocolMagic, "run-checkpoint protocol section");
+  std::vector<std::uint8_t> protocol_snapshot =
+      reader.read_vector<std::uint8_t>();
+
+  reader.expect_magic(kSnapClientsMagic, "run-checkpoint clients section");
+  const std::uint64_t client_count = reader.read_u64();
+  if (client_count != clients_.size()) {
+    throw std::runtime_error(
+        "Simulation::restore_state: client-section count mismatch");
+  }
+
+  // All identity validation is done; mutations start here. (Byte-level
+  // damage never reaches this function: io::load_run_checkpoint rejects
+  // the file on its CRC footer before the payload is parsed.)
+  protocol_->restore(protocol_snapshot);
+
+  for (auto& client : clients_) client->deserialize(reader);
+
+  reader.expect_magic(kSnapFaultsMagic, "run-checkpoint faults section");
+  {
+    std::vector<std::int32_t> down32 = reader.read_vector<std::int32_t>();
+    faults_.restore_churn_state(std::vector<int>(down32.begin(), down32.end()));
+  }
+
+  if (this_async) {
+    reader.expect_magic(kSnapAsyncMagic, "run-checkpoint async section");
+    std::vector<std::uint8_t> busy = reader.read_vector<std::uint8_t>();
+    if (busy.size() != client_busy_.size()) {
+      throw std::runtime_error(
+          "Simulation::restore_state: async busy-set size mismatch");
+    }
+    std::vector<double> ready = reader.read_vector<double>();
+    if (ready.size() != client_ready_s_.size()) {
+      throw std::runtime_error(
+          "Simulation::restore_state: async ready-set size mismatch");
+    }
+    const std::uint64_t flow_count = reader.read_u64();
+    std::vector<net::Flow> flows(static_cast<std::size_t>(flow_count));
+    for (net::Flow& flow : flows) {
+      flow.start_time_s = reader.read_f64();
+      flow.bytes = reader.read_f64();
+      flow.rate_cap_bps = reader.read_f64();
+    }
+    const std::uint64_t base_count = reader.read_u64();
+    std::vector<std::shared_ptr<const std::vector<float>>> bases;
+    bases.reserve(static_cast<std::size_t>(base_count));
+    for (std::uint64_t b = 0; b < base_count; ++b) {
+      bases.push_back(std::make_shared<const std::vector<float>>(
+          reader.read_vector<float>()));
+    }
+    const std::uint64_t leg_count = reader.read_u64();
+    std::vector<InFlight> inflight(static_cast<std::size_t>(leg_count));
+    for (InFlight& leg : inflight) {
+      leg.client = reader.read_i32();
+      leg.version = reader.read_i32();
+      leg.dispatch_cycle = reader.read_i32();
+      leg.dispatch_s = reader.read_f64();
+      leg.flow = static_cast<std::size_t>(reader.read_u64());
+      leg.attempts = reader.read_i32();
+      leg.comm_factor = reader.read_f64();
+      leg.delivered = reader.read_bool();
+      leg.corrupt = reader.read_bool();
+      leg.loss = reader.read_f64();
+      leg.state = reader.read_vector<float>();
+      const std::uint32_t base = reader.read_u32();
+      if (base >= bases.size() || leg.flow >= flows.size() ||
+          leg.client < 0 ||
+          leg.client >= static_cast<int>(clients_.size()) ||
+          leg.state.size() != global_.size() ||
+          bases[base]->size() != global_.size()) {
+        throw std::runtime_error(
+            "Simulation::restore_state: malformed in-flight leg");
+      }
+      leg.dispatch_global = bases[base];
+    }
+    uplink_->restore_flows(std::move(flows));
+    std::copy(busy.begin(), busy.end(), client_busy_.begin());
+    client_ready_s_ = std::move(ready);
+    inflight_ = std::move(inflight);
+  }
+  if (!reader.at_end()) {
+    throw std::runtime_error(
+        "Simulation::restore_state: trailing bytes after the last section");
+  }
+
+  round_ = round;
+  model_version_ = model_version;
+  elapsed_time_s_ = elapsed;
+  last_mean_payload_bytes_ = last_mean_payload;
+  global_ = std::move(global);
+  for (std::size_t i = 0; i < active.size(); ++i) active_[i] = active[i] != 0;
 }
 
 }  // namespace fedsu::fl

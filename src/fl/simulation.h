@@ -10,6 +10,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "compress/protocol.h"
@@ -53,6 +55,34 @@ struct AsyncOptions {
 // exactly 1.0. Exposed for tests and doc examples.
 double staleness_weight(int staleness, double alpha);
 
+// Periodic run checkpointing (docs/RECOVERY.md): every `every` completed
+// rounds the simulation serializes its full resume frontier
+// (Simulation::snapshot_state) and writes it atomically to
+// `dir/ckpt-<round>.fedsu` (io::save_run_checkpoint). A later process
+// restores it with Simulation::restore_state and replays the remaining
+// rounds bitwise-identically to the uninterrupted run.
+struct CheckpointOptions {
+  int every = 0;    // cadence in completed rounds; 0 disables
+  std::string dir;  // checkpoint directory (created on first write)
+};
+
+// Thrown by Simulation::step() when the server-crash fault family
+// (FaultOptions::server_crash_*, docs/FAULT_MODEL.md §7) kills the server at
+// the start of a round/cycle. The simulation object is left exactly as the
+// previous round ended — harnesses typically exit the process here and a
+// later invocation resumes from the last checkpoint.
+class ServerCrashed : public std::runtime_error {
+ public:
+  explicit ServerCrashed(int round)
+      : std::runtime_error("server crashed at the start of round " +
+                           std::to_string(round)),
+        round_(round) {}
+  int round() const { return round_; }
+
+ private:
+  int round_;
+};
+
 struct SimulationOptions {
   nn::ModelSpec model;
   data::SyntheticSpec dataset;
@@ -91,6 +121,9 @@ struct SimulationOptions {
   // and `timing` is forced to kFlowLevel — overlapping uploads only exist
   // in the flow-level model.
   AsyncOptions async;
+  // Periodic crash-recovery checkpoints (docs/RECOVERY.md). Writing a
+  // checkpoint only reads state, so enabling it cannot perturb results.
+  CheckpointOptions checkpoint;
   int eval_every = 1;       // test-set evaluation period, in rounds
   int eval_batch = 64;
   std::uint64_t seed = 42;
@@ -160,6 +193,20 @@ struct RoundRecord {
   };
   std::optional<AsyncStats> async;
 
+  // Outcome of the periodic run-checkpoint write, present only on rounds
+  // where SimulationOptions::checkpoint scheduled one (the optional stays
+  // empty otherwise, keeping checkpoint-off records bit-identical to
+  // pre-recovery output). A failed write sets ok = false with a diagnostic;
+  // the run continues — the health monitor raises a critical alert instead.
+  struct CheckpointEvent {
+    bool ok = false;
+    int round = 0;          // rounds completed in the snapshot
+    std::size_t bytes = 0;  // payload size (the file adds a 16-byte frame)
+    std::string path;       // final file path; "" on failure
+    std::string error;      // diagnostic on failure
+  };
+  std::optional<CheckpointEvent> checkpoint;
+
   // Host wall-clock time spent in each phase of step(), measured only when
   // obs::metrics_enabled() (all zero otherwise). These are real durations on
   // the machine running the simulator — they never feed back into the
@@ -218,6 +265,25 @@ class Simulation {
   // state is restored separately via SyncProtocol::restore().
   void load_global_state(std::vector<float> state);
 
+  // Serializes the full resume frontier (docs/RECOVERY.md): model, protocol
+  // snapshot (FedSU promotion/demotion state, SparseErrorStore slabs, rejoin
+  // stamps), per-client batch-loader RNG/permutation cursors, fault-plan
+  // churn state, and — in async mode — the version fence plus every
+  // in-flight dispatch leg, so restore does not require a quiescent server.
+  // Everything else (shards, network model, selection RNGs) re-derives from
+  // SimulationOptions deterministically and is validated, not stored.
+  std::vector<std::uint8_t> snapshot_state() const;
+
+  // Restores a snapshot_state() payload onto a Simulation constructed with
+  // the SAME options (protocol, cohort, model, seed — `threads` may differ;
+  // §5b holds across thread counts). Replaying the remaining rounds then
+  // produces output bitwise identical to the uninterrupted run. Throws on
+  // any mismatch (different protocol, cohort size, model size, or sync/async
+  // mode) and on malformed payloads, leaving no partial restore behind on a
+  // validation failure. Mid-run add_client joiners are outside the resume
+  // frontier: restore onto the constructed cohort, then re-add them.
+  void restore_state(const std::vector<std::uint8_t>& payload);
+
  private:
   // One upload leg in flight between dispatch and consumption (async mode).
   struct InFlight {
@@ -242,6 +308,9 @@ class Simulation {
   RoundRecord step_sync();
   // One buffered-async aggregation cycle (DESIGN.md §11).
   RoundRecord step_async();
+  // Writes the periodic run checkpoint when the cadence says so, attaching
+  // the outcome to `record` (before the round hook sees it).
+  void maybe_checkpoint(RoundRecord& record);
 
   std::vector<int> select_participants(int round);
   // Builds the consistent record for a round that stalled (no aggregation:

@@ -2,6 +2,7 @@
 // persisted to one file so an FL run can be stopped and resumed.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,5 +27,46 @@ Checkpoint load_checkpoint(const std::string& path);
 Checkpoint make_checkpoint(const compress::SyncProtocol& protocol,
                            std::vector<float> model_state, int round,
                            double elapsed_time_s);
+
+// Restores `protocol` from `checkpoint`, then re-derives the rejoin stamp
+// for every client in `absent_clients` (ids of clients that are down — or
+// of unknown continuity — at restore time). A snapshot's stamps describe
+// the world *when it was taken*: a client that churned between snapshot and
+// restore still has its stale error slab live in the snapshot, and blindly
+// trusting it replays stale feedback into every subsequent correction
+// (exactly the live rejoin hole docs/FAULT_MODEL.md §4 closed). Callers
+// that restore the full churn state alongside the snapshot (the auto-resume
+// path, docs/RECOVERY.md) have proven continuity and pass an empty list.
+void restore_protocol(compress::SyncProtocol& protocol,
+                      const Checkpoint& checkpoint,
+                      const std::vector<int>& absent_clients);
+
+// ---------------------------------------------------------------------------
+// Run checkpoints (docs/RECOVERY.md): full resume-frontier snapshots written
+// periodically by fl::Simulation. This layer owns only the outer framing —
+// magic, format version, opaque payload, CRC-32 footer — plus the atomic
+// write (tmp file + rename) and latest-file discovery. The payload is
+// produced and consumed by Simulation::snapshot_state/restore_state.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kRunCheckpointMagic = 0xFED5'C4EC;
+inline constexpr std::uint32_t kRunCheckpointVersion = 1;
+
+// Atomically writes `payload` as `dir/ckpt-<round>.fedsu` (tmp file in the
+// same directory, then std::rename, so a crash mid-write never leaves a
+// half-visible checkpoint). Creates `dir` if needed. Returns the final
+// path. Throws on I/O failure.
+std::string save_run_checkpoint(const std::string& dir, int round,
+                                const std::vector<std::uint8_t>& payload);
+
+// Verifies the outer frame (magic, version, length, CRC-32 footer) and
+// returns the payload. Any damage — wrong magic, truncation, a flipped
+// bit — throws with a diagnostic naming the failure; no partially-valid
+// payload is ever returned.
+std::vector<std::uint8_t> load_run_checkpoint(const std::string& path);
+
+// Path of the highest-round `ckpt-<round>.fedsu` in `dir`, or "" when the
+// directory has none (or does not exist).
+std::string find_latest_run_checkpoint(const std::string& dir);
 
 }  // namespace fedsu::io

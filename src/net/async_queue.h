@@ -49,6 +49,17 @@ class AsyncUplink {
 
   std::size_t size() const { return flows_.size(); }
 
+  // Checkpoint support: the flow history IS the uplink's state — `done_`
+  // and `dirty_` are a cache recomputed by the next completion_s() call.
+  // Restoring the same flows therefore reproduces bitwise-identical
+  // completion times (simulate_shared_link is deterministic in its input).
+  const std::vector<Flow>& flows() const { return flows_; }
+  void restore_flows(std::vector<Flow> flows) {
+    flows_ = std::move(flows);
+    done_.clear();
+    dirty_ = !flows_.empty();
+  }
+
  private:
   double server_bps_;
   std::vector<Flow> flows_;

@@ -42,7 +42,8 @@ void HealthMonitor::begin_run(const std::string& scheme,
   scheme_ = scheme;
   model_size_ = model_size;
   nonfinite_loss_ = nonfinite_model_ = plateau_ = divergence_ = fallback_ =
-      oscillation_ = straggler_ = staleness_ = byte_budget_ = Rule{};
+      oscillation_ = straggler_ = staleness_ = byte_budget_ =
+          checkpoint_failure_ = Rule{};
   best_loss_ = 0.0;
   has_best_loss_ = false;
   rounds_since_improvement_ = 0;
@@ -219,6 +220,16 @@ void HealthMonitor::observe_round(const fl::RoundRecord& record) {
          "aggregated an update older than the staleness limit");
   }
 
+  // --- checkpoint-write failure (crash-recovery frontier lost) ---
+  if (options_.checkpoint_failures && record.checkpoint) {
+    edge(checkpoint_failure_, !record.checkpoint->ok, round,
+         "checkpoint_failure", AlertSeverity::kCritical,
+         record.checkpoint->ok ? 0.0 : 1.0, 0.0,
+         record.checkpoint->ok
+             ? "condition cleared"
+             : "run-checkpoint write failed: " + record.checkpoint->error);
+  }
+
   // --- per-round byte budget ---
   if (options_.byte_budget_per_round > 0) {
     const double bytes =
@@ -267,7 +278,7 @@ int HealthMonitor::raised_count(AlertSeverity severity) const {
 
 bool HealthMonitor::healthy() const {
   return !(nonfinite_loss_.active || nonfinite_model_.active ||
-           divergence_.active);
+           divergence_.active || checkpoint_failure_.active);
 }
 
 }  // namespace fedsu::obs

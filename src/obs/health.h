@@ -84,6 +84,14 @@ struct HealthOptions {
   // Per-round byte budget over bytes_up + bytes_down, all participants.
   // 0 disables.
   std::size_t byte_budget_per_round = 0;
+
+  // Checkpoint-write failure (docs/RECOVERY.md): a round whose scheduled
+  // run-checkpoint write failed (RoundRecord::checkpoint with ok == false).
+  // Critical — a run silently losing its recovery frontier is exactly the
+  // state this subsystem exists to prevent. true enables (the record field
+  // only appears when checkpointing is configured, so the rule is inert on
+  // checkpoint-off runs either way).
+  bool checkpoint_failures = true;
 };
 
 // One edge of one rule. `raised` false means the condition cleared.
@@ -155,7 +163,7 @@ class HealthMonitor {
 
   // --- per-run rule state (reset by begin_run) ---
   Rule nonfinite_loss_, nonfinite_model_, plateau_, divergence_, fallback_,
-      oscillation_, straggler_, staleness_, byte_budget_;
+      oscillation_, straggler_, staleness_, byte_budget_, checkpoint_failure_;
   double best_loss_ = 0.0;
   bool has_best_loss_ = false;
   int rounds_since_improvement_ = 0;

@@ -42,6 +42,11 @@ void RunManifest::set_outcome(std::string outcome) {
   outcome_ = std::move(outcome);
 }
 
+void RunManifest::set_recovery(RunRecovery recovery) {
+  has_recovery_ = true;
+  recovery_ = std::move(recovery);
+}
+
 std::string RunManifest::to_json() const {
   std::ostringstream os;
   os << "{\n";
@@ -65,6 +70,19 @@ std::string RunManifest::to_json() const {
     first = false;
   }
   os << (first ? "" : "\n  ") << "},\n";
+  if (has_recovery_) {
+    os << "  \"recovery\": {\"resumed\": "
+       << (recovery_.resumed ? "true" : "false");
+    if (recovery_.resumed) {
+      os << ", \"resumed_from_round\": " << recovery_.resumed_from_round
+         << ", \"resumed_path\": " << json_quote(recovery_.resumed_path);
+    }
+    os << ", \"checkpoint_every\": " << recovery_.checkpoint_every
+       << ", \"checkpoint_dir\": " << json_quote(recovery_.checkpoint_dir)
+       << ", \"checkpoints_written\": " << recovery_.checkpoints_written
+       << ", \"checkpoint_failures\": " << recovery_.checkpoint_failures
+       << "},\n";
+  }
   os << "  \"runs\": [";
   first = true;
   std::uint64_t total_rounds = 0, total_up = 0, total_down = 0;

@@ -48,6 +48,19 @@ struct RunAggregates {
   int alerts_critical = 0;
 };
 
+// Crash-recovery summary for a run that used periodic checkpointing and/or
+// resumed from a checkpoint (docs/RECOVERY.md). Serialized as a "recovery"
+// object only when engaged so pre-recovery manifests are unaffected.
+struct RunRecovery {
+  bool resumed = false;          // this process restored a checkpoint
+  int resumed_from_round = -1;   // rounds completed in the restored snapshot
+  std::string resumed_path;      // the checkpoint file restored
+  int checkpoint_every = 0;      // configured cadence (0 = off)
+  std::string checkpoint_dir;
+  int checkpoints_written = 0;   // successful writes, whole run
+  int checkpoint_failures = 0;   // failed writes, whole run
+};
+
 // Execution environment, identical for every cell of a run.
 struct RunEnvironment {
   std::uint64_t seed = 0;
@@ -68,6 +81,8 @@ class RunManifest {
   void add_run(RunAggregates aggregates);
   // "ok" | "failed"; anything a crashed run never wrote stays "running".
   void set_outcome(std::string outcome);
+  // Engages the "recovery" object in the document.
+  void set_recovery(RunRecovery recovery);
 
   // Serializes the full document (stamps the end time at call time).
   std::string to_json() const;
@@ -85,6 +100,8 @@ class RunManifest {
   RunEnvironment env_;
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<RunAggregates> runs_;
+  bool has_recovery_ = false;
+  RunRecovery recovery_;
 };
 
 }  // namespace fedsu::obs

@@ -75,6 +75,19 @@ std::string TelemetryWriter::to_json_line(const fl::RoundRecord& record,
     }
     line += "]}";
   }
+  // Checkpoint-write outcome rides along only on rounds where the periodic
+  // checkpoint cadence fired (docs/RECOVERY.md); checkpoint-off runs keep
+  // the historical line format.
+  if (record.checkpoint) {
+    const auto& cp = *record.checkpoint;
+    line += std::string(", \"checkpoint\": {\"ok\": ") +
+            (cp.ok ? "true" : "false");
+    line += ", \"round\": " + std::to_string(cp.round);
+    line += ", \"bytes\": " + std::to_string(cp.bytes);
+    line += ", \"path\": " + json_quote(cp.path);
+    if (!cp.ok) line += ", \"error\": " + json_quote(cp.error);
+    line += "}";
+  }
   line += "}";
   return line;
 }

@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <numbers>
@@ -131,6 +132,23 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 Rng Rng::fork(std::uint64_t stream) const {
   SplitMix64 sm(seed_ ^ (0xa0761d6478bd642fULL * (stream + 1)));
   return Rng(sm.next());
+}
+
+std::array<std::uint64_t, Rng::kStateWords> Rng::state_words() const {
+  return {s_[0], s_[1], s_[2], s_[3], seed_,
+          has_cached_normal_ ? 1ULL : 0ULL,
+          std::bit_cast<std::uint64_t>(cached_normal_)};
+}
+
+void Rng::restore_state_words(
+    const std::array<std::uint64_t, kStateWords>& w) {
+  s_[0] = w[0];
+  s_[1] = w[1];
+  s_[2] = w[2];
+  s_[3] = w[3];
+  seed_ = w[4];
+  has_cached_normal_ = w[5] != 0;
+  cached_normal_ = std::bit_cast<double>(w[6]);
 }
 
 }  // namespace fedsu::util

@@ -6,6 +6,8 @@
 // bit-identical runs everywhere, which the tests rely on.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -55,6 +57,14 @@ class Rng {
   // Derives an independent child generator; stream `i` is stable across
   // runs for the same parent seed.
   Rng fork(std::uint64_t stream) const;
+
+  // Full generator state as 7 words: s_[0..3], seed_, the Box-Muller
+  // cache flag, and the cached normal's bit pattern. Restoring these
+  // words reproduces the exact draw sequence, which checkpoint/resume
+  // relies on (fork() depends only on seed_, so the words are complete).
+  static constexpr std::size_t kStateWords = 7;
+  std::array<std::uint64_t, kStateWords> state_words() const;
+  void restore_state_words(const std::array<std::uint64_t, kStateWords>& w);
 
  private:
   std::uint64_t s_[4];

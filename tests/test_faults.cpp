@@ -2,6 +2,7 @@
 // FedSuManager rejoin reconciliation — DESIGN.md §10, docs/FAULT_MODEL.md).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <span>
@@ -13,6 +14,7 @@
 #include "fl/faults.h"
 #include "fl/protocol_factory.h"
 #include "fl/simulation.h"
+#include "io/checkpoint.h"
 
 namespace fedsu::fl {
 namespace {
@@ -177,6 +179,81 @@ TEST(FaultPlan, CsvTraceDrivesEvents) {
   plan.begin_round(4, 4);
   EXPECT_TRUE(plan.fault(3).corrupt);
   EXPECT_FALSE(plan.fault(0).rejoined);
+}
+
+// --- server-crash family ---------------------------------------------------
+
+TEST(FaultPlan, ServerCrashKnobsDoNotEngageClientFaults) {
+  // The server family must not flip the client-fault pipeline on: enabling
+  // it would change participant selection, telemetry format, and byte
+  // accounting of an otherwise faultless run.
+  FaultOptions options;
+  options.server_crash_at = 5;
+  FaultPlan plan(options);
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.server_faults_enabled());
+  EXPECT_FALSE(plan.server_crash(4));
+  EXPECT_TRUE(plan.server_crash(5));
+  EXPECT_FALSE(plan.server_crash(6));
+
+  EXPECT_FALSE(FaultPlan().server_faults_enabled());
+}
+
+TEST(FaultPlan, ServerCrashProbabilityIsAPureFunctionOfSeedAndRound) {
+  FaultOptions options;
+  options.server_crash_probability = 0.25;
+  FaultPlan a(options), b(options);
+  FaultOptions reseeded = options;
+  reseeded.seed ^= 0xabcdef;
+  FaultPlan c(reseeded);
+  int crashes = 0;
+  bool differs = false;
+  for (int round = 0; round < 200; ++round) {
+    // Stateless: the same (seed, round) always answers the same, with no
+    // begin_round required and no cross-round coupling.
+    EXPECT_EQ(a.server_crash(round), b.server_crash(round)) << round;
+    EXPECT_EQ(a.server_crash(round), a.server_crash(round)) << round;
+    if (a.server_crash(round)) ++crashes;
+    if (a.server_crash(round) != c.server_crash(round)) differs = true;
+  }
+  EXPECT_GT(crashes, 10);
+  EXPECT_LT(crashes, 100);
+  EXPECT_TRUE(differs) << "reseeding changed nothing in 200 draws";
+}
+
+TEST(FaultPlan, ServerCrashTraceEventDrivesTheCrash) {
+  const std::string path = write_trace("server_crash_trace.csv",
+                                       "3,0,server-crash,0\n");
+  FaultOptions options;
+  options.trace_csv = path;
+  FaultPlan plan(options);
+  // A server-crash-only trace keeps the client pipeline off too.
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.server_faults_enabled());
+  EXPECT_FALSE(plan.server_crash(2));
+  EXPECT_TRUE(plan.server_crash(3));
+  EXPECT_FALSE(plan.server_crash(4));
+}
+
+TEST(FaultPlan, RejectsBadServerCrashProbability) {
+  FaultOptions bad;
+  bad.server_crash_probability = -0.5;
+  EXPECT_THROW(FaultPlan{bad}, std::invalid_argument);
+}
+
+TEST(SimulationServerCrash, StepThrowsAtTheConfiguredRound) {
+  SimulationOptions options = tiny_options();
+  options.faults.server_crash_at = 3;
+  Simulation sim(options, proto_for("fedsu", options.num_clients));
+  for (int r = 0; r < 3; ++r) EXPECT_NO_THROW(sim.step());
+  try {
+    sim.step();
+    FAIL() << "round 3 did not crash the server";
+  } catch (const ServerCrashed& crash) {
+    EXPECT_EQ(crash.round(), 3);
+    EXPECT_NE(std::string(crash.what()).find("round 3"), std::string::npos);
+  }
+  EXPECT_EQ(sim.rounds_completed(), 3);
 }
 
 TEST(FaultPlan, RejectsBadOptions) {
@@ -567,6 +644,127 @@ TEST(FedSuRejoin, RejoinValidatesClientId) {
   EXPECT_THROW(manager.on_client_rejoin(-1), std::out_of_range);
   EXPECT_THROW(manager.on_client_rejoin(2), std::out_of_range);
   EXPECT_EQ(manager.on_client_rejoin(0), manager.join_state_bytes());
+}
+
+// --- legacy-checkpoint restore onto a churned cohort -----------------------
+
+// A full "fedsu" protocol with the drive_manager thresholds, so the same
+// alternating-sign trajectory promotes parameters and accumulates errors.
+std::unique_ptr<compress::SyncProtocol> rejoinable_proto() {
+  ProtocolConfig config;
+  config.name = "fedsu";
+  config.num_clients = 2;
+  config.fedsu.t_r = 0.2;
+  config.fedsu.t_s = 2.0;
+  config.fedsu.ema_decay = 0.9;
+  config.fedsu.warmup = 2;
+  config.fedsu.initial_no_check = 2;
+  return make_protocol(config);
+}
+
+// Runs `rounds` two-client rounds of the drive_manager trajectory starting
+// at `first_round`, returning the final global state. `max_speculated`, when
+// given, collects the peak per-round speculated fraction (speculation phases
+// expire and re-promote, so any single round may legitimately read zero).
+std::vector<float> drive_protocol(compress::SyncProtocol& protocol,
+                                  std::vector<float> global, int first_round,
+                                  int rounds, double* max_speculated = nullptr) {
+  const std::size_t p = global.size();
+  for (int r = first_round; r < first_round + rounds; ++r) {
+    // Per-client amplitudes must DIFFER: with identical submissions the two
+    // error slabs are equal and the filtered mean over {0} equals the mean
+    // over {0, 1}, making any slab-release bug invisible.
+    std::vector<std::vector<float>> submitted(2, std::vector<float>(p));
+    for (int c = 0; c < 2; ++c) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const float amp = 0.01f * static_cast<float>(j + 1) *
+                          ((r % 3 == 0) ? 1.25f : 1.0f) *
+                          (c == 0 ? 1.0f : 1.5f);
+        submitted[c][j] = global[j] + ((r % 2 == 0) ? amp : -amp);
+      }
+    }
+    compress::RoundContext ctx;
+    ctx.round = r;
+    ctx.participants = {0, 1};
+    std::vector<std::span<const float>> views = {
+        std::span<const float>(submitted[0]),
+        std::span<const float>(submitted[1])};
+    global = protocol.synchronize(ctx, views).new_global;
+    if (max_speculated) {
+      *max_speculated =
+          std::max(*max_speculated,
+                   protocol.last_round_telemetry().speculated_fraction);
+    }
+  }
+  return global;
+}
+
+TEST(FedSuRejoin, CheckpointRestoreOntoChurnedCohortRederivesRejoinStamps) {
+  // The pre-fix hole: restoring a legacy checkpoint onto a cohort where a
+  // client churned between snapshot and restore kept that client's
+  // snapshot-era error slab live, replaying stale residuals into every
+  // later correction. io::restore_protocol re-derives the rejoin stamps
+  // for the named absentees; this test pins (a) that it matches the
+  // explicit restore-then-on_client_rejoin semantics bitwise, and (b) that
+  // the blind restore it replaces really does diverge.
+  const std::size_t p = 6;
+  auto seed_proto = rejoinable_proto();
+  std::vector<float> global(p, 0.0f);
+  seed_proto->initialize(global);
+  // Checkpoint MID speculative phase, after errors have accrued for at
+  // least two rounds: a released slab only changes the future while a
+  // phase's accumulated errors are live, so a checkpoint taken between
+  // phases would make the blind restore trivially correct.
+  int k = 0;
+  int speculative_streak = 0;
+  while (k < 60 && speculative_streak < 2) {
+    global = drive_protocol(*seed_proto, global, k, 1);
+    ++k;
+    if (seed_proto->last_round_telemetry().speculated_fraction > 0.0) {
+      ++speculative_streak;
+    } else {
+      speculative_streak = 0;
+    }
+  }
+  ASSERT_EQ(speculative_streak, 2) << "the trajectory never speculated";
+  const io::Checkpoint checkpoint =
+      io::make_checkpoint(*seed_proto, global, k, 0.0);
+
+  // Reference: the explicit rejoin contract, by hand.
+  auto explicit_proto = rejoinable_proto();
+  explicit_proto->initialize(checkpoint.model_state);
+  explicit_proto->restore(checkpoint.protocol_snapshot);
+  explicit_proto->on_client_rejoin(1);
+  const std::vector<float> explicit_final =
+      drive_protocol(*explicit_proto, checkpoint.model_state, k, 12);
+
+  // The helper with client 1 listed absent must match it bitwise.
+  auto helper_proto = rejoinable_proto();
+  helper_proto->initialize(checkpoint.model_state);
+  io::restore_protocol(*helper_proto, checkpoint, {1});
+  const std::vector<float> helper_final =
+      drive_protocol(*helper_proto, checkpoint.model_state, k, 12);
+  EXPECT_EQ(std::memcmp(explicit_final.data(), helper_final.data(),
+                        p * sizeof(float)),
+            0);
+
+  // The blind restore (what callers did before the helper existed) keeps
+  // client 1's stale slab and bends the corrections away.
+  auto blind_proto = rejoinable_proto();
+  blind_proto->initialize(checkpoint.model_state);
+  blind_proto->restore(checkpoint.protocol_snapshot);
+  const std::vector<float> blind_final =
+      drive_protocol(*blind_proto, checkpoint.model_state, k, 12);
+  EXPECT_NE(std::memcmp(explicit_final.data(), blind_final.data(),
+                        p * sizeof(float)),
+            0)
+      << "blind restore matched the rejoin-correct run; the stale-slab "
+         "scenario no longer bites — strengthen the trajectory";
+
+  // And the helper refuses a checkpoint from a different scheme.
+  auto wrong = proto_for("fedavg", 2);
+  EXPECT_THROW(io::restore_protocol(*wrong, checkpoint, {}),
+               std::runtime_error);
 }
 
 TEST(FedSuRejoin, SnapshotRoundTripsTheRejoinState) {

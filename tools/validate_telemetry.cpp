@@ -18,7 +18,8 @@
 //     (severity enum, raised|cleared state), rounds are monotone per
 //     scheme, and every "cleared" follows a "raised" of the same rule;
 //   * manifest: obs::RunManifest schema (environment, config, per-cell
-//     aggregates), with totals equal to the sums over the cells.
+//     aggregates, the optional crash-recovery object), with totals equal to
+//     the sums over the cells.
 //
 // When both the manifest and the telemetry / alerts files of the SAME run
 // are given, their aggregates are cross-reconciled: manifest total rounds
@@ -234,6 +235,27 @@ TelemetryTotals validate_telemetry(const std::string& path,
             path + ": quorum_met inconsistent with participants in round " +
                 std::to_string(round));
     }
+    if (record.has("checkpoint")) {
+      // Periodic run-checkpoint outcome (docs/RECOVERY.md): present only on
+      // rounds where the cadence fired.
+      const JsonValue& cp = record.at("checkpoint");
+      const bool ok = cp.at("ok").as_bool();
+      check(static_cast<int>(cp.at("round").as_number()) == round,
+            path + ": checkpoint.round != round in round " +
+                std::to_string(round));
+      if (ok) {
+        check(cp.at("bytes").as_number() > 0.0,
+              path + ": successful checkpoint with zero bytes in round " +
+                  std::to_string(round));
+        check(!cp.at("path").as_string().empty(),
+              path + ": successful checkpoint with empty path in round " +
+                  std::to_string(round));
+      } else {
+        check(!cp.at("error").as_string().empty(),
+              path + ": failed checkpoint without an error in round " +
+                  std::to_string(round));
+      }
+    }
     const JsonValue& wall = record.at("wall");
     const double phase_sum =
         wall.at("select_s").as_number() + wall.at("train_s").as_number() +
@@ -372,6 +394,27 @@ ManifestTotals validate_manifest(const std::string& path) {
     check(level == "off" || level == "metrics" || level == "trace",
           path + ": bad obs_level");
     root.at("config").as_object();  // present and an object
+    if (root.has("recovery")) {
+      // Crash-recovery summary (docs/RECOVERY.md): present only when the
+      // run checkpointed and/or resumed.
+      const JsonValue& rec = root.at("recovery");
+      const bool resumed = rec.at("resumed").as_bool();
+      if (resumed) {
+        check(rec.at("resumed_from_round").as_number() >= 0,
+              path + ": resumed run with negative resumed_from_round");
+        check(!rec.at("resumed_path").as_string().empty(),
+              path + ": resumed run with empty resumed_path");
+      }
+      check(rec.at("checkpoint_every").as_number() >= 0,
+            path + ": negative recovery.checkpoint_every");
+      const double written = rec.at("checkpoints_written").as_number();
+      const double failed = rec.at("checkpoint_failures").as_number();
+      check(written >= 0 && failed >= 0,
+            path + ": negative recovery checkpoint counts");
+      check(resumed || rec.at("checkpoint_every").as_number() > 0,
+            path + ": recovery object present but neither resumed nor "
+                   "checkpointing");
+    }
     const auto& runs = root.at("runs").as_array();
     check(!runs.empty(), path + ": no runs recorded");
     for (const JsonValue& run : runs) {
