@@ -95,6 +95,9 @@ struct BenchConfig {
   // by bench_recovery; ignored by benches that never crash mid-run).
   int checkpoint_every = 0;
   std::string checkpoint_dir;
+  // Retention: keep at most N checkpoints in checkpoint_dir, pruning the
+  // oldest after each write (0 = keep all).
+  int checkpoint_keep = 0;
   bool resume = false;
 };
 
@@ -204,6 +207,8 @@ inline util::Flags make_flags(const BenchConfig& defaults) {
                "write a run checkpoint every N rounds (0 = off)")
       .add_string("checkpoint-dir", defaults.checkpoint_dir,
                   "directory for run checkpoints (ckpt-NNNNNNNN.fedsu)")
+      .add_int("checkpoint-keep", defaults.checkpoint_keep,
+               "keep at most N checkpoints, pruning oldest (0 = keep all)")
       .add_bool("resume", defaults.resume,
                 "resume from the latest checkpoint in --checkpoint-dir")
       .add_bool("async", defaults.async_mode,
@@ -320,6 +325,7 @@ inline BenchConfig config_from_flags(const util::Flags& flags) {
       flags.get_double("faults-server-crash");
   config.checkpoint_every = static_cast<int>(flags.get_int("checkpoint-every"));
   config.checkpoint_dir = flags.get_string("checkpoint-dir");
+  config.checkpoint_keep = static_cast<int>(flags.get_int("checkpoint-keep"));
   config.resume = flags.get_bool("resume");
   if (config.resume) {
     // A resumed process is a new server: the crash plan described the life
@@ -372,6 +378,7 @@ inline fl::SimulationOptions simulation_options(const BenchConfig& config) {
   options.async.staleness_alpha = config.staleness_alpha;
   options.checkpoint.every = config.checkpoint_every;
   options.checkpoint.dir = config.checkpoint_dir;
+  options.checkpoint.keep = config.checkpoint_keep;
   return options;
 }
 

@@ -5,6 +5,7 @@
 
 #include "compress/wire.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::compress {
 
@@ -36,49 +37,77 @@ SyncResult Apf::synchronize(
   const std::size_t n = client_states.size();
   const float theta = static_cast<float>(options_.ema_decay);
 
-  std::vector<float> new_global = global_;
+  // The active coordinate set is fixed at round entry (the main pass below
+  // decrements the frozen counters), so count it — and under payload audit
+  // build the representative wire payload — up front.
   std::size_t synced = 0;
-  std::vector<float> up_values;  // client 0's unfrozen coords (wire payload)
   for (std::size_t j = 0; j < p; ++j) {
-    if (freeze_remaining_[j] > 0) {
-      // Frozen: hold the value, not transmitted. When the period elapses the
-      // parameter rejoins synchronization next round for a stability check.
-      --freeze_remaining_[j];
-      continue;
+    if (freeze_remaining_[j] == 0) ++synced;
+  }
+  const std::size_t bytes = n == 0 ? 0 : wire::measure_dense(synced);
+  if (wire::payload_audit() && n > 0) {
+    OBS_SPAN("compress.apf.encode");
+    std::vector<float> up_values;  // client 0's unfrozen coords
+    up_values.reserve(synced);
+    for (std::size_t j = 0; j < p; ++j) {
+      if (freeze_remaining_[j] == 0) up_values.push_back(client_states[0][j]);
     }
-    ++synced;
-    if (n > 0) up_values.push_back(client_states[0][j]);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
-    const float synced_value = static_cast<float>(acc / static_cast<double>(n));
-    const float update = synced_value - global_[j];
-    new_global[j] = synced_value;
-    // Update the effective-perturbation statistics.
-    ema_update_[j] = theta * ema_update_[j] + (1.0f - theta) * update;
-    ema_abs_update_[j] =
-        theta * ema_abs_update_[j] + (1.0f - theta) * std::fabs(update);
-    ++observations_[j];
-    if (observations_[j] < options_.warmup_rounds) continue;
-    const float denom = ema_abs_update_[j];
-    const double ep = denom > 0.0f ? std::fabs(ema_update_[j]) / denom : 0.0;
-    if (ep < options_.stability_threshold) {
-      // Stable: freeze, growing the period additively each consecutive
-      // stable verdict.
-      freeze_period_[j] = freeze_period_[j] > 0
-                              ? freeze_period_[j] + 1
-                              : options_.initial_period;
-      freeze_remaining_[j] = freeze_period_[j];
+    wire::audit_bytes("apf up", bytes, wire::encode_dense(up_values).size());
+  }
+
+  // Every per-coordinate decision — aggregate, EMA statistics, freeze
+  // bookkeeping, the in-place global write — touches only slot j, so the
+  // pass chunks over parameters with identical results for any thread
+  // count. Frozen coordinates hold their value untouched, making global_
+  // itself the new state (the result takes the single full-width copy).
+  auto update_params = [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      if (freeze_remaining_[j] > 0) {
+        // Frozen: hold the value, not transmitted. When the period elapses
+        // the parameter rejoins synchronization for a stability check.
+        --freeze_remaining_[j];
+        continue;
+      }
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += client_states[i][j];
+      const float synced_value =
+          static_cast<float>(acc / static_cast<double>(n));
+      const float update = synced_value - global_[j];
+      global_[j] = synced_value;
+      // Update the effective-perturbation statistics.
+      ema_update_[j] = theta * ema_update_[j] + (1.0f - theta) * update;
+      ema_abs_update_[j] =
+          theta * ema_abs_update_[j] + (1.0f - theta) * std::fabs(update);
+      ++observations_[j];
+      if (observations_[j] < options_.warmup_rounds) continue;
+      const float denom = ema_abs_update_[j];
+      const double ep = denom > 0.0f ? std::fabs(ema_update_[j]) / denom : 0.0;
+      if (ep < options_.stability_threshold) {
+        // Stable: freeze, growing the period additively each consecutive
+        // stable verdict.
+        freeze_period_[j] = freeze_period_[j] > 0
+                                ? freeze_period_[j] + 1
+                                : options_.initial_period;
+        freeze_remaining_[j] = freeze_period_[j];
+      } else {
+        freeze_period_[j] = 0;  // unstable: restart the probing cycle
+      }
+    }
+  };
+  {
+    OBS_SPAN("compress.apf.update");
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.worth_parallelizing() && p > 1) {
+      pool.parallel_for(0, p, update_params, 1024);
     } else {
-      freeze_period_[j] = 0;  // unstable: restart the probing cycle
+      update_params(0, p);
     }
   }
-  global_ = new_global;
 
   SyncResult result;
-  result.new_global = std::move(new_global);
+  result.new_global = global_;
   // Measured payload: the dense block of unfrozen values (client 0 is
   // representative; all clients sync the same coordinate set).
-  const std::size_t bytes = wire::encode_dense(up_values).size();
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = synced * n;

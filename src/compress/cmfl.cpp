@@ -4,6 +4,8 @@
 
 #include "compress/wire.h"
 #include "obs/trace.h"
+#include "util/reduce.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::compress {
 
@@ -31,59 +33,81 @@ SyncResult Cmfl::synchronize(
   last_relevances_.assign(n, 1.0);
 
   // Decide which clients report. Round 0 has no reference update: everyone
-  // reports (matching the CMFL paper's warm-up behaviour).
-  std::vector<bool> reports(n, true);
+  // reports (matching the CMFL paper's warm-up behaviour). Each client's
+  // check only reads shared state and writes its own slots, so the pass
+  // chunks over the pool with identical results for any thread count.
+  reports_.assign(n, 1);
   if (has_prev_update_) {
-    for (std::size_t i = 0; i < n; ++i) {
-      std::size_t agree = 0;
-      for (std::size_t j = 0; j < p; ++j) {
-        const float u = client_states[i][j] - global_[j];
-        // Zero entries count as agreeing: they cannot hurt the global
-        // direction (and exact zeros are rare for float updates anyway).
-        const bool sign_u = u >= 0.0f;
-        const bool sign_g = prev_update_[j] >= 0.0f;
-        if (u == 0.0f || prev_update_[j] == 0.0f || sign_u == sign_g) ++agree;
+    auto relevance = [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        std::size_t agree = 0;
+        for (std::size_t j = 0; j < p; ++j) {
+          const float u = client_states[i][j] - global_[j];
+          // Zero entries count as agreeing: they cannot hurt the global
+          // direction (and exact zeros are rare for float updates anyway).
+          const bool sign_u = u >= 0.0f;
+          const bool sign_g = prev_update_[j] >= 0.0f;
+          if (u == 0.0f || prev_update_[j] == 0.0f || sign_u == sign_g) ++agree;
+        }
+        last_relevances_[i] =
+            p == 0 ? 1.0 : static_cast<double>(agree) / static_cast<double>(p);
+        reports_[i] =
+            last_relevances_[i] >= options_.relevance_threshold ? 1 : 0;
       }
-      last_relevances_[i] =
-          p == 0 ? 1.0 : static_cast<double>(agree) / static_cast<double>(p);
-      reports[i] = last_relevances_[i] >= options_.relevance_threshold;
+    };
+    OBS_SPAN("compress.cmfl.relevance");
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.worth_parallelizing() && n > 1) {
+      pool.parallel_for(0, n, relevance);
+    } else {
+      relevance(0, n);
     }
   }
 
   // Aggregate the reporting clients; if every update was withheld, the
   // global state stays put for this round.
-  std::vector<double> acc(p, 0.0);
   std::size_t reporting = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!reports[i]) continue;
-    ++reporting;
-    for (std::size_t j = 0; j < p; ++j) acc[j] += client_states[i][j];
-  }
-  std::vector<float> new_global = global_;
-  if (reporting > 0) {
-    const double inv = 1.0 / static_cast<double>(reporting);
-    for (std::size_t j = 0; j < p; ++j) {
-      new_global[j] = static_cast<float>(acc[j] * inv);
+  {
+    OBS_SPAN("compress.cmfl.aggregate");
+    reporting_rows_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reports_[i]) reporting_rows_.push_back(client_states[i]);
     }
+    reporting = reporting_rows_.size();
+    if (reporting > 0) {
+      acc_.assign(p, 0.0);
+      util::column_sums(reporting_rows_, acc_, &util::ThreadPool::global());
+      const double inv = 1.0 / static_cast<double>(reporting);
+      // In-place global update; prev_update_ tracks the step for next
+      // round's relevance checks, and the result takes the single copy.
+      for (std::size_t j = 0; j < p; ++j) {
+        const float next = static_cast<float>(acc_[j] * inv);
+        prev_update_[j] = next - global_[j];
+        global_[j] = next;
+      }
+    } else {
+      for (std::size_t j = 0; j < p; ++j) prev_update_[j] = 0.0f;
+    }
+    has_prev_update_ = true;
   }
-
-  // Track the global update for next round's relevance checks.
-  for (std::size_t j = 0; j < p; ++j) prev_update_[j] = new_global[j] - global_[j];
-  has_prev_update_ = true;
-  global_ = new_global;
 
   SyncResult result;
-  result.new_global = std::move(new_global);
+  result.new_global = global_;
   // Measured dense payload: a reporting upload and every download carry the
   // full state (all the same length; the broadcast is representative).
-  const std::size_t full_bytes = wire::encode_dense(result.new_global).size();
+  const std::size_t full_bytes = wire::measure_dense(p);
+  if (wire::payload_audit()) {
+    OBS_SPAN("compress.cmfl.encode");
+    wire::audit_bytes("cmfl down", full_bytes,
+                      wire::encode_dense(global_).size());
+  }
   result.bytes_up.resize(n);
   result.bytes_down.assign(n, full_bytes);  // everyone downloads the model
   std::size_t total_up = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    result.bytes_up[i] = reports[i] ? full_bytes : 0;
+    result.bytes_up[i] = reports_[i] ? full_bytes : 0;
     total_up += result.bytes_up[i];
-    result.scalars_up += reports[i] ? p : 0;
+    result.scalars_up += reports_[i] ? p : 0;
   }
   result.scalars_down = p * n;
   wire::record_round_bytes("cmfl", total_up, full_bytes * n);

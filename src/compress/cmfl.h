@@ -1,6 +1,13 @@
 // CMFL (Wang/Luping et al., ICDCS'19): a client uploads its update only when
 // a sufficient fraction of its element-wise signs agree with the previous
 // global update ("relevance"); irrelevant updates are withheld.
+//
+// Hot-path design (DESIGN.md §15): per-client relevance checks are
+// independent reads of the shared previous update, so they run in parallel
+// over util::ThreadPool with disjoint per-client outputs; the reporting
+// subset then aggregates through util::column_sums' fixed block shape —
+// both bitwise identical for every thread count (§5b). Byte accounting is
+// wire::measure_dense; the encoder only runs in payload-audit mode.
 #pragma once
 
 #include "compress/protocol.h"
@@ -37,6 +44,13 @@ class Cmfl : public SyncProtocol {
   bool has_prev_update_ = false;
   double last_ratio_ = 0.0;
   std::vector<double> last_relevances_;
+
+  // Round-loop scratch, reused so the steady state is allocation-free.
+  // reports_ is byte-wide (not vector<bool>) so the parallel relevance pass
+  // writes disjoint slots without bit-packing races.
+  std::vector<std::uint8_t> reports_;
+  std::vector<double> acc_;
+  std::vector<std::span<const float>> reporting_rows_;
 };
 
 }  // namespace fedsu::compress

@@ -42,8 +42,13 @@ SyncResult FedAvg::synchronize(
   SyncResult result;
   result.new_global = average_states(client_states);
   // Byte accounting is the measured size of the dense payload each client
-  // uploads (its state) and downloads (the new global) — identical lengths.
-  const std::size_t bytes = wire::encode_dense(result.new_global).size();
+  // uploads (its state) and downloads (the new global) — identical lengths,
+  // sized without encoding (DESIGN.md §15).
+  const std::size_t bytes = wire::measure_dense(result.new_global.size());
+  if (wire::payload_audit()) {
+    wire::audit_bytes("fedavg", bytes,
+                      wire::encode_dense(result.new_global).size());
+  }
   result.bytes_up.assign(client_states.size(), bytes);
   result.bytes_down.assign(client_states.size(), bytes);
   result.scalars_up = result.new_global.size() * client_states.size();

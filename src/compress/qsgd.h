@@ -4,6 +4,15 @@
 // Each client quantizes its update to `bits` levels per coordinate with
 // stochastic rounding (unbiased); the server averages dequantized updates
 // and broadcasts a quantized global update back.
+//
+// Hot-path design (DESIGN.md §15): each client's rounding noise comes from
+// its own counter-derived stream, Rng(seed).fork(round + 1).fork(id + 1)
+// (stream 0 of a round quantizes the broadcast) — a pure function of
+// (seed, round, client id), so per-client quantization parallelizes over
+// util::ThreadPool with bitwise-identical results for every thread count
+// (§5b). Dequantized updates fold through fixed kReduceClientBlock-row
+// double panels combined in ascending block order, and byte accounting is
+// wire::measure_quantized — the encoder only runs in payload-audit mode.
 #pragma once
 
 #include "compress/protocol.h"
@@ -39,7 +48,15 @@ class Qsgd : public SyncProtocol {
  private:
   QsgdOptions options_;
   std::vector<float> global_;
-  util::Rng rng_{0};
+  util::Rng rng_{0};  // stream base: never advanced, only fork()ed per round
+
+  // Round-loop scratch, sized on first use and reused thereafter so the
+  // steady state is heap-allocation-free. panels_ holds one double
+  // accumulator panel per kReduceClientBlock-client block (block b owns
+  // [b*p, (b+1)*p)); acc_/mean_update_ are the combined sum and its mean.
+  std::vector<double> panels_;
+  std::vector<double> acc_;
+  std::vector<float> mean_update_;
 };
 
 }  // namespace fedsu::compress

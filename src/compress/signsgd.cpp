@@ -1,10 +1,13 @@
 #include "compress/signsgd.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "compress/wire.h"
 #include "obs/trace.h"
+#include "util/reduce.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::compress {
 
@@ -29,38 +32,81 @@ SyncResult SignSgd::synchronize(
     throw std::invalid_argument("SignSgd: participants/state mismatch");
   }
   // Majority vote over update signs; track mean |update| to size the step.
-  std::vector<int> votes(p, 0);
-  std::vector<std::uint8_t> up_signs(p, 0);  // client 0's wire mask
-  double abs_sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < p; ++j) {
-      const float u = client_states[i][j] - global_[j];
-      votes[j] += (u > 0.0f) - (u < 0.0f);
-      if (i == 0) up_signs[j] = u > 0.0f ? 1 : 0;
-      abs_sum += std::fabs(u);
+  // Each block folds its rows row-major into a private vote panel and a
+  // private double partial, exactly the historical serial loop restricted to
+  // the block's rows, so any thread count produces the same panels.
+  const std::size_t block = util::kReduceClientBlock;
+  const std::size_t num_blocks = (n + block - 1) / block;
+  vote_panels_.assign(num_blocks * p, 0);
+  abs_partials_.assign(num_blocks, 0.0);
+  auto run_blocks = [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      int* votes = vote_panels_.data() + b * p;
+      double abs_sum = 0.0;
+      const std::size_t hi = std::min(n, (b + 1) * block);
+      for (std::size_t i = b * block; i < hi; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+          const float u = client_states[i][j] - global_[j];
+          votes[j] += (u > 0.0f) - (u < 0.0f);
+          abs_sum += std::fabs(u);
+        }
+      }
+      abs_partials_[b] = abs_sum;
+    }
+  };
+  {
+    OBS_SPAN("compress.signsgd.vote");
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.worth_parallelizing() && num_blocks > 1) {
+      pool.parallel_for(0, num_blocks, run_blocks);
+    } else {
+      run_blocks(0, num_blocks);
     }
   }
-  const float mean_abs =
-      static_cast<float>(abs_sum / (static_cast<double>(p) * n));
-  // Adaptive step: EMA of the observed mean magnitude.
-  step_ = step_ == 0.0f ? mean_abs : 0.9f * step_ + 0.1f * mean_abs;
-  const float step = static_cast<float>(options_.step_scale) * step_;
 
-  std::vector<float> new_global = global_;
-  for (std::size_t j = 0; j < p; ++j) {
-    if (votes[j] > 0) {
-      new_global[j] += step;
-    } else if (votes[j] < 0) {
-      new_global[j] -= step;
-    }
-  }
-  global_ = new_global;
-
-  SyncResult result;
-  result.new_global = std::move(new_global);
   // Measured payload: one sign bit per coordinate (packed) plus one f32
   // each way — the client's local mean |update| up, the global step down.
-  const std::size_t bytes = wire::encode_signs(up_signs, step_).size();
+  const std::size_t bytes = wire::measure_signs(p);
+  if (wire::payload_audit()) {
+    OBS_SPAN("compress.signsgd.encode");
+    // Client 0's wire mask, rebuilt against the pre-update global state.
+    std::vector<std::uint8_t> up_signs(p, 0);
+    for (std::size_t j = 0; j < p; ++j) {
+      up_signs[j] = client_states[0][j] - global_[j] > 0.0f ? 1 : 0;
+    }
+    wire::audit_bytes("signsgd up", bytes,
+                      wire::encode_signs(up_signs, 0.0f).size());
+  }
+
+  {
+    OBS_SPAN("compress.signsgd.aggregate");
+    // Combine in ascending block order: votes into the block-0 panel
+    // (integer adds, exact in any order), |update| partials as a short
+    // double chain — with n <= kReduceClientBlock both degenerate to the
+    // historical single accumulators.
+    int* votes = vote_panels_.data();
+    double abs_sum = abs_partials_[0];
+    for (std::size_t b = 1; b < num_blocks; ++b) {
+      const int* panel = vote_panels_.data() + b * p;
+      for (std::size_t j = 0; j < p; ++j) votes[j] += panel[j];
+      abs_sum += abs_partials_[b];
+    }
+    const float mean_abs =
+        static_cast<float>(abs_sum / (static_cast<double>(p) * n));
+    // Adaptive step: EMA of the observed mean magnitude.
+    step_ = step_ == 0.0f ? mean_abs : 0.9f * step_ + 0.1f * mean_abs;
+    const float step = static_cast<float>(options_.step_scale) * step_;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (votes[j] > 0) {
+        global_[j] += step;
+      } else if (votes[j] < 0) {
+        global_[j] -= step;
+      }
+    }
+  }
+
+  SyncResult result;
+  result.new_global = global_;
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = p * n;

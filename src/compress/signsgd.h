@@ -2,6 +2,14 @@
 // sign bit per coordinate plus a scalar step size; the server takes the
 // element-wise majority. An extreme-quantization point of comparison for the
 // related-work spectrum (§II-B).
+//
+// Hot-path design (DESIGN.md §15): the vote pass runs in parallel over
+// fixed kReduceClientBlock-client blocks, each folding its rows into a
+// private int vote panel and a double |update| partial; panels combine in
+// ascending block order (integer votes are exact, the double partials keep
+// the §5b fixed reduction shape — a single block is the historical serial
+// chain bit-for-bit). Byte accounting is wire::measure_signs; the encoder
+// only runs in payload-audit mode.
 #pragma once
 
 #include "compress/protocol.h"
@@ -29,6 +37,11 @@ class SignSgd : public SyncProtocol {
   SignSgdOptions options_;
   std::vector<float> global_;
   float step_ = 0.0f;  // adaptive per-coordinate step magnitude
+
+  // Round-loop scratch, reused so the steady state is allocation-free:
+  // block b owns vote_panels_[b*p, (b+1)*p) and abs_partials_[b].
+  std::vector<int> vote_panels_;
+  std::vector<double> abs_partials_;
 };
 
 }  // namespace fedsu::compress

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "compress/wire.h"
+#include "io/serialize.h"
 #include "obs/trace.h"
+#include "util/scratch_arena.h"
+#include "util/thread_pool.h"
 
 namespace fedsu::compress {
 
@@ -19,8 +23,7 @@ TopK::TopK(int num_clients, TopKOptions options)
 
 void TopK::initialize(std::span<const float> global_state) {
   global_.assign(global_state.begin(), global_state.end());
-  residual_.assign(static_cast<std::size_t>(num_clients_),
-                   std::vector<float>(global_.size(), 0.0f));
+  residual_.reset(num_clients_, global_.size());
 }
 
 void TopK::on_client_join(int client_id) {
@@ -28,7 +31,20 @@ void TopK::on_client_join(int client_id) {
     throw std::invalid_argument("TopK: client ids must be contiguous");
   }
   ++num_clients_;
-  residual_.emplace_back(global_.size(), 0.0f);
+  residual_.add_client();  // no slab until it accumulates
+}
+
+std::size_t TopK::on_client_rejoin(int client_id) {
+  if (client_id < 0 || client_id >= num_clients_) {
+    throw std::out_of_range("TopK: rejoining client id out of range");
+  }
+  // The rejoiner is force re-synced to the current global model, so the
+  // residual it accumulated against its pre-crash trajectory is stale error
+  // feedback — replaying it would inject mass that was already corrected by
+  // the full re-download. Releasing the slab makes the accumulator exactly
+  // zero again (absent == zeros) and returns the memory.
+  residual_.release(client_id);
+  return 0;  // nothing beyond the model itself to re-download
 }
 
 SyncResult TopK::synchronize(
@@ -40,68 +56,147 @@ SyncResult TopK::synchronize(
   if (n != ctx.participants.size() || n == 0) {
     throw std::invalid_argument("TopK: participants/state mismatch");
   }
-  const std::size_t k = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::llround(options_.fraction *
-                                               static_cast<double>(p))));
+  const std::size_t k =
+      p == 0 ? 0
+             : std::min(p, std::max<std::size_t>(
+                               1, static_cast<std::size_t>(std::llround(
+                                      options_.fraction *
+                                      static_cast<double>(p)))));
 
-  std::vector<double> agg(p, 0.0);
-  std::vector<std::uint8_t> touched(p, 0);
-  std::vector<float> compensated(p);
-  std::vector<std::size_t> order(p);
-  std::vector<std::uint32_t> up_indices;
-  std::vector<float> up_values;
-  up_indices.reserve(k);
-  up_values.reserve(k);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto& res = residual_[static_cast<std::size_t>(ctx.participants[i])];
-    for (std::size_t j = 0; j < p; ++j) {
-      compensated[j] = (client_states[i][j] - global_[j]) + res[j];
-    }
-    // Select the k largest |compensated| coordinates.
-    for (std::size_t j = 0; j < p; ++j) order[j] = j;
-    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return std::fabs(compensated[a]) >
-                              std::fabs(compensated[b]);
-                     });
-    for (std::size_t r = 0; r < p; ++r) {
-      const std::size_t j = order[r];
-      if (r < k) {
-        agg[j] += compensated[j];
-        touched[j] = 1;
-        if (i == 0) {
-          // Representative upload payload (every client sends k entries).
-          up_indices.push_back(static_cast<std::uint32_t>(j));
-          up_values.push_back(compensated[j]);
+  sel_indices_.resize(n * k);
+  sel_values_.resize(n * k);
+
+  // Pass 1 — compensate + select, parallel over clients. Each participant
+  // owns its residual slab and its [i*k, (i+1)*k) slice of the selection
+  // arrays, so chunking over the pool is bitwise identical for every thread
+  // count (§5b). Selection is threshold-then-scan: one nth_element over the
+  // reused |compensated| buffer finds the k-th largest magnitude, then an
+  // ascending scan takes everything strictly above it and breaks ties at
+  // the threshold by earliest index — deterministic, and no O(p) index
+  // array to rebuild per client.
+  auto select_client = [&](std::size_t i0, std::size_t i1) {
+    util::ScratchArena& arena = util::ScratchArena::local();
+    util::ScratchArena::Frame frame(arena);
+    float* comp = arena.floats(p);
+    float* mags = arena.floats(p);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const int client = ctx.participants[i];
+      const std::span<const float>& state = client_states[i];
+      const float* slab = residual_.slab(client);
+      if (slab != nullptr) {
+        for (std::size_t j = 0; j < p; ++j) {
+          comp[j] = (state[j] - global_[j]) + slab[j];
         }
-        res[j] = 0.0f;
-      } else {
-        res[j] = compensated[j];  // remember for the next round
+      } else {  // absent slab reads as exact zeros
+        for (std::size_t j = 0; j < p; ++j) comp[j] = state[j] - global_[j];
+      }
+      if (k == 0) continue;
+      for (std::size_t j = 0; j < p; ++j) mags[j] = std::fabs(comp[j]);
+      std::nth_element(mags, mags + (k - 1), mags + p, std::greater<float>());
+      const float threshold = mags[k - 1];
+      std::uint32_t* idx = sel_indices_.data() + i * k;
+      float* val = sel_values_.data() + i * k;
+      std::size_t taken = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        if (std::fabs(comp[j]) > threshold) {
+          idx[taken] = static_cast<std::uint32_t>(j);
+          val[taken] = comp[j];
+          ++taken;
+        }
+      }
+      for (std::size_t j = 0; j < p && taken < k; ++j) {
+        if (std::fabs(comp[j]) == threshold) {
+          idx[taken] = static_cast<std::uint32_t>(j);
+          val[taken] = comp[j];
+          ++taken;
+        }
+      }
+      // Residual update: unselected mass carries to the next round. A slab
+      // materializes only when some unselected coordinate is nonzero (an
+      // all-zero residual is represented by absence, bit-identically).
+      float* wslab = residual_.slab(client);
+      if (wslab == nullptr) {
+        // Zero the selected coordinates in comp, then look for remaining
+        // mass: only then is a slab worth materializing.
+        for (std::size_t t = 0; t < taken; ++t) comp[idx[t]] = 0.0f;
+        bool residual_mass = false;
+        for (std::size_t j = 0; j < p && !residual_mass; ++j) {
+          residual_mass = comp[j] != 0.0f;
+        }
+        if (!residual_mass) continue;  // absent slab already reads as zeros
+        wslab = residual_.ensure(client);
+        for (std::size_t j = 0; j < p; ++j) wslab[j] = comp[j];
+        continue;
+      }
+      for (std::size_t j = 0; j < p; ++j) wslab[j] = comp[j];
+      for (std::size_t t = 0; t < taken; ++t) wslab[idx[t]] = 0.0f;
+    }
+  };
+  {
+    OBS_SPAN("compress.topk.select");
+    util::ThreadPool* pool = &util::ThreadPool::global();
+    if (pool->worth_parallelizing() && n > 1) {
+      pool->parallel_for(0, n, select_client);
+    } else {
+      select_client(0, n);
+    }
+  }
+
+  // Pass 2 — aggregate, serial in ascending client order: each coordinate
+  // is touched at most once per client, so the per-coordinate fold order is
+  // ascending client id exactly as the historical loop, independent of the
+  // per-client selection order above.
+  std::size_t union_size = 0;
+  {
+    OBS_SPAN("compress.topk.aggregate");
+    agg_.assign(p, 0.0);
+    touched_.assign(p, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t* idx = sel_indices_.data() + i * k;
+      const float* val = sel_values_.data() + i * k;
+      for (std::size_t t = 0; t < k; ++t) {
+        agg_[idx[t]] += val[t];
+        touched_[idx[t]] = 1;
       }
     }
+    // One O(p)-width write: the union update lands in global_ in place and
+    // the result takes a single copy of it (the old code built new_global,
+    // copied it into global_, and moved a second copy into the result).
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t j = 0; j < p; ++j) {
+      if (!touched_[j]) continue;
+      ++union_size;
+      global_[j] = static_cast<float>(global_[j] + agg_[j] * inv_n);
+    }
   }
-
-  std::vector<float> new_global = global_;
-  std::size_t union_size = 0;
-  std::vector<std::uint32_t> down_indices;
-  std::vector<float> down_values;
-  const double inv_n = 1.0 / static_cast<double>(n);
-  for (std::size_t j = 0; j < p; ++j) {
-    if (!touched[j]) continue;
-    ++union_size;
-    new_global[j] = static_cast<float>(global_[j] + agg[j] * inv_n);
-    down_indices.push_back(static_cast<std::uint32_t>(j));
-    down_values.push_back(new_global[j]);
-  }
-  global_ = new_global;
 
   SyncResult result;
-  result.new_global = std::move(new_global);
-  // Measured sparse payload sizes: each upload carries k (index, value)
-  // entries; the broadcast carries the union of touched coordinates.
-  const std::size_t up_bytes = wire::encode_sparse(up_indices, up_values).size();
-  const std::size_t down_bytes =
-      wire::encode_sparse(down_indices, down_values).size();
+  result.new_global = global_;
+  // Exact sparse payload sizes without materializing the payloads: each
+  // upload carries k (index, value) entries; the broadcast carries the
+  // union of touched coordinates (wire::measure_sparse == encoded size).
+  const std::size_t up_bytes = wire::measure_sparse(k);
+  const std::size_t down_bytes = wire::measure_sparse(union_size);
+  if (wire::payload_audit()) {
+    OBS_SPAN("compress.topk.encode");
+    // Client 0's representative upload, and the broadcast payload.
+    std::vector<std::uint32_t> down_indices;
+    std::vector<float> down_values;
+    down_indices.reserve(union_size);
+    down_values.reserve(union_size);
+    for (std::size_t j = 0; j < p; ++j) {
+      if (!touched_[j]) continue;
+      down_indices.push_back(static_cast<std::uint32_t>(j));
+      down_values.push_back(global_[j]);
+    }
+    wire::audit_bytes(
+        "topk up", up_bytes,
+        wire::encode_sparse(std::span(sel_indices_.data(), k),
+                            std::span(sel_values_.data(), k))
+            .size());
+    wire::audit_bytes("topk down", down_bytes,
+                      wire::encode_sparse(down_indices, down_values).size());
+  }
   result.bytes_up.assign(n, up_bytes);
   result.bytes_down.assign(n, down_bytes);
   result.scalars_up = k * n;
@@ -113,9 +208,33 @@ SyncResult TopK::synchronize(
 }
 
 std::size_t TopK::state_bytes() const {
-  std::size_t bytes = global_.size() * sizeof(float);
-  if (!residual_.empty()) bytes += residual_[0].size() * sizeof(float);
-  return bytes;
+  // Device-side accounting (Table II): the model plus the client's own
+  // residual, which is dense on the device — sparsity is a server-side
+  // phenomenon driven by never-selected and churned clients.
+  return global_.size() * sizeof(float) + global_.size() * sizeof(float);
+}
+
+namespace {
+constexpr std::uint32_t kTopKSnapshotMagic = 0xFED5701C;
+}  // namespace
+
+std::vector<std::uint8_t> TopK::snapshot() const {
+  io::BinaryWriter writer;
+  writer.write_magic(kTopKSnapshotMagic);
+  writer.write_i32(num_clients_);
+  writer.write_f64(last_ratio_);
+  writer.write_vector(global_);
+  residual_.serialize(writer);
+  return writer.take();
+}
+
+void TopK::restore(const std::vector<std::uint8_t>& bytes) {
+  io::BinaryReader reader(bytes);
+  reader.expect_magic(kTopKSnapshotMagic, "TopK snapshot");
+  num_clients_ = reader.read_i32();
+  last_ratio_ = reader.read_f64();
+  global_ = reader.read_vector<float>();
+  residual_.deserialize(reader, num_clients_, global_.size());
 }
 
 }  // namespace fedsu::compress

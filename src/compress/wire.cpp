@@ -10,6 +10,21 @@
 
 namespace fedsu::compress::wire {
 
+namespace {
+bool g_payload_audit = false;
+}  // namespace
+
+void set_payload_audit(bool enabled) { g_payload_audit = enabled; }
+bool payload_audit() { return g_payload_audit; }
+
+void audit_bytes(const char* what, std::size_t measured, std::size_t encoded) {
+  if (measured != encoded) {
+    throw std::logic_error(std::string("wire payload audit: ") + what +
+                           ": measured " + std::to_string(measured) +
+                           " bytes but encoded " + std::to_string(encoded));
+  }
+}
+
 std::vector<std::uint8_t> encode_dense(std::span<const float> values) {
   io::BinaryWriter writer;
   for (float v : values) writer.write_f32(v);

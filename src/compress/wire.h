@@ -1,9 +1,12 @@
-// Wire payload encoders for the synchronization protocols.
+// Wire payload encoders and exact sizing for the synchronization protocols.
 //
-// Every protocol's SyncResult byte accounting is measured off a payload
-// actually built through io::BinaryWriter (one representative client per
-// round), instead of a hand-maintained size formula — so telemetry bytes
-// match what a real transport would carry, exactly. Decoders are provided
+// Every protocol's SyncResult byte accounting comes from the measure_*
+// functions below: closed-form byte counts proven equal to the encoders'
+// output size for every shape (tests/test_comm.cpp checks them
+// exhaustively, and the payload-audit mode re-checks at runtime). The hot
+// path therefore never materializes a wire buffer just to call .size() on
+// it — encoding happens only in round-trip tests, in the fault layer's CRC
+// stamping, and when payload auditing is switched on. Decoders are provided
 // for round-trip tests; the simulator itself never decodes (client states
 // are handed over in memory).
 //
@@ -20,6 +23,43 @@
 #include <vector>
 
 namespace fedsu::compress::wire {
+
+// --- Exact sizing (no allocation, no encoding) ---------------------------
+//
+// Each measure_* returns exactly encode_*(...).size() for a payload with
+// `count` entries. The formats above are fixed-width, so the size is a pure
+// function of the shape — the protocols' byte accounting calls these every
+// round instead of building a buffer (DESIGN.md §15).
+
+constexpr std::size_t measure_dense(std::size_t count) {
+  return count * sizeof(float);
+}
+
+constexpr std::size_t measure_sparse(std::size_t count) {
+  return count * (sizeof(std::uint32_t) + sizeof(float));
+}
+
+constexpr std::size_t measure_signs(std::size_t count) {
+  return (count + 7) / 8 + sizeof(float);
+}
+
+constexpr std::size_t measure_quantized(std::size_t count, int bits) {
+  return (count * static_cast<std::size_t>(bits) + 7) / 8 + sizeof(float);
+}
+
+// --- Payload audit -------------------------------------------------------
+//
+// With auditing on, every protocol still builds its representative wire
+// payload through the encoders and cross-checks the measured size against
+// the encoded one, throwing std::logic_error on any mismatch. Off (the
+// default) the hot path is sizing-only. Tests flip this on to prove the
+// measure/encode split lossless end to end; a debugging session can flip it
+// on to dump/inspect real bytes. Not thread-safe: set it before the run.
+void set_payload_audit(bool enabled);
+bool payload_audit();
+
+// Throws std::logic_error naming `what` unless measured == encoded.
+void audit_bytes(const char* what, std::size_t measured, std::size_t encoded);
 
 std::vector<std::uint8_t> encode_dense(std::span<const float> values);
 std::vector<float> decode_dense(const std::vector<std::uint8_t>& bytes);

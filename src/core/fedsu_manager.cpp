@@ -104,9 +104,11 @@ compress::SyncResult FedSuManager::synchronize(
   std::size_t& unpredictable_count = diag_.unpredictable;
   std::size_t& expiring_count = diag_.expiring;
 
-  // Client 0's wire upload, built as the passes run: unpredictable values
-  // (pass 1) followed by expiring error scalars (pass 2). Its serialized
-  // size is the per-client byte count reported below.
+  // Client 0's wire upload: unpredictable values (pass 1) followed by
+  // expiring error scalars (pass 2). The byte accounting below is
+  // measure_dense over those counts; the payload itself is only
+  // materialized under payload audit to cross-check the measured size.
+  const bool audit = compress::wire::payload_audit();
   std::vector<float> up_payload;
 
   // Pass 1: synchronize unpredictable parameters; speculatively update the
@@ -129,7 +131,7 @@ compress::SyncResult FedSuManager::synchronize(
   for (std::size_t j = 0; j < p; ++j) {
     if (!predictable_[j]) {
       ++unpredictable_count;
-      up_payload.push_back(client_states[0][j]);
+      if (audit) up_payload.push_back(client_states[0][j]);
       new_global[j] = static_cast<float>(column_sums[j] * inv_n);
       continue;
     }
@@ -222,7 +224,7 @@ compress::SyncResult FedSuManager::synchronize(
   for (std::size_t k = 0; k < expiring.size(); ++k) {
     const std::size_t j = expiring[k];
     // The client uploads its accumulated local error for this parameter.
-    up_payload.push_back(client_err_.value(ctx.participants[0], j));
+    if (audit) up_payload.push_back(client_err_.value(ctx.participants[0], j));
     if (err_valid[k] == 0) {
       // Every participant's view of this phase is partial (all rejoined
       // mid-phase): the check cannot be evaluated. Re-arm for next round
@@ -301,9 +303,13 @@ compress::SyncResult FedSuManager::synchronize(
   // download the aggregated verdict/correction). Masks and periods are
   // derived locally on every client and cost nothing (§V).
   const std::size_t per_client_scalars = unpredictable_count + expiring_count;
-  // Measured payload: client 0's upload serialized through io/serialize —
-  // one f32 per unpredictable value plus one per expiring error scalar.
-  const std::size_t bytes = compress::wire::encode_dense(up_payload).size();
+  // One f32 per unpredictable value plus one per expiring error scalar,
+  // sized without encoding (DESIGN.md §15).
+  const std::size_t bytes = compress::wire::measure_dense(per_client_scalars);
+  if (audit) {
+    compress::wire::audit_bytes(
+        "fedsu up", bytes, compress::wire::encode_dense(up_payload).size());
+  }
   result.bytes_up.assign(n, bytes);
   result.bytes_down.assign(n, bytes);
   result.scalars_up = per_client_scalars * n;

@@ -272,6 +272,12 @@ void Simulation::maybe_checkpoint(RoundRecord& record) {
     ev.bytes = payload.size();
     ev.path = io::save_run_checkpoint(options_.checkpoint.dir, round_, payload);
     ev.ok = true;
+    // Retention runs only after a successful write: a failed write must
+    // never cost an older, still-good checkpoint its slot.
+    if (options_.checkpoint.keep > 0) {
+      io::prune_run_checkpoints(options_.checkpoint.dir,
+                                options_.checkpoint.keep);
+    }
   } catch (const std::exception& e) {
     // A failed write never kills the run (losing training to a full disk
     // would invert the feature's purpose); the record carries the

@@ -64,6 +64,10 @@ double staleness_weight(int staleness, double alpha);
 struct CheckpointOptions {
   int every = 0;    // cadence in completed rounds; 0 disables
   std::string dir;  // checkpoint directory (created on first write)
+  // Retention: after each successful write, delete the oldest checkpoints
+  // in `dir` until at most `keep` remain (io::prune_run_checkpoints).
+  // 0 keeps everything — the historical behaviour.
+  int keep = 0;
 };
 
 // Thrown by Simulation::step() when the server-crash fault family

@@ -1,11 +1,13 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <stdexcept>
+#include <utility>
 
 #include "compress/wire.h"
 #include "io/serialize.h"
@@ -199,6 +201,29 @@ std::string find_latest_run_checkpoint(const std::string& dir) {
     }
   }
   return best_path;
+}
+
+std::size_t prune_run_checkpoints(const std::string& dir, int keep) {
+  if (keep <= 0) return 0;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::vector<std::pair<int, fs::path>> checkpoints;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const int round = parse_checkpoint_round(entry.path().filename().string());
+    if (round >= 0) checkpoints.emplace_back(round, entry.path());
+  }
+  if (checkpoints.size() <= static_cast<std::size_t>(keep)) return 0;
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t removed = 0;
+  const std::size_t excess = checkpoints.size() - static_cast<std::size_t>(keep);
+  for (std::size_t i = 0; i < excess; ++i) {
+    if (fs::remove(checkpoints[i].second, ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace fedsu::io

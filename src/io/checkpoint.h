@@ -69,4 +69,10 @@ std::vector<std::uint8_t> load_run_checkpoint(const std::string& path);
 // directory has none (or does not exist).
 std::string find_latest_run_checkpoint(const std::string& dir);
 
+// Retention GC: deletes the oldest-round `ckpt-<round>.fedsu` files in `dir`
+// until at most `keep` remain; keep <= 0 keeps everything (the historical
+// behaviour). Files that fail to delete are skipped — retention must never
+// kill a run, and the next prune retries. Returns the number removed.
+std::size_t prune_run_checkpoints(const std::string& dir, int keep);
+
 }  // namespace fedsu::io

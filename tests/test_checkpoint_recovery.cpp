@@ -119,6 +119,51 @@ TEST(RunCheckpointFile, RoundTripsThePayloadAndPicksTheLatest) {
   EXPECT_EQ(io::find_latest_run_checkpoint(dir + "/nope"), "");
 }
 
+TEST(RunCheckpointRetention, PrunesOldestBeyondKeepAndKeepsAllByDefault) {
+  const std::string dir = fresh_dir("retention");
+  const std::vector<std::uint8_t> payload = {0x11, 0x22};
+  for (const int round : {0, 3, 5, 8, 12, 20}) {
+    io::save_run_checkpoint(dir, round, payload);
+  }
+  // keep <= 0 = keep everything (the default policy).
+  EXPECT_EQ(io::prune_run_checkpoints(dir, 0), 0u);
+  EXPECT_EQ(io::prune_run_checkpoints(dir, -3), 0u);
+
+  // Non-checkpoint files never count against the budget or get removed.
+  std::ofstream(dir + "/notes.txt") << "not a checkpoint";
+  EXPECT_EQ(io::prune_run_checkpoints(dir, 2), 4u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/ckpt-00000012.fedsu"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/ckpt-00000020.fedsu"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ckpt-00000008.fedsu"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+  // Already within budget: nothing to do. Latest discovery still works.
+  EXPECT_EQ(io::prune_run_checkpoints(dir, 2), 0u);
+  EXPECT_NE(io::find_latest_run_checkpoint(dir).find("ckpt-00000020.fedsu"),
+            std::string::npos);
+  // A missing directory is a no-op, not an error.
+  EXPECT_EQ(io::prune_run_checkpoints(dir + "/nope", 1), 0u);
+}
+
+TEST(RunCheckpointRetention, SimulationKeepsOnlyTheNewestN) {
+  const std::string dir = fresh_dir("retention_sim");
+  SimulationOptions options = tiny_options();
+  options.checkpoint.every = 2;
+  options.checkpoint.dir = dir;
+  options.checkpoint.keep = 2;
+  Simulation sim = make_sim(options);
+  for (int r = 1; r <= 8; ++r) sim.step();
+  // Rounds 2, 4, 6, 8 were written; retention keeps only {6, 8}.
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".fedsu") ++files;
+  }
+  EXPECT_EQ(files, 2);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ckpt-00000004.fedsu"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/ckpt-00000006.fedsu"));
+  EXPECT_NE(io::find_latest_run_checkpoint(dir).find("ckpt-00000008.fedsu"),
+            std::string::npos);
+}
+
 TEST(RunCheckpointFile, TruncationFailsLoudly) {
   const std::string dir = fresh_dir("frame_truncated");
   const std::vector<std::uint8_t> payload(256, 0x5A);

@@ -21,9 +21,10 @@
 //       [--tol-speedup-rel 0] [--tol-mem-rel 0.30]
 //
 // Both files may be bench_robustness/bench_scale JSON (cells matched by
-// setting+scheme), bench_gemm JSON (shapes matched by name+variant), or
-// run manifests (runs matched by setting+scheme); the kind is sniffed from
-// the document. Every baseline entry must exist in the current file, and
+// setting+scheme), bench_comm JSON (cells matched by setting+scheme,
+// gated on exact wire bytes and synchronize wall ms), bench_gemm JSON
+// (shapes matched by name+variant), or run manifests (runs matched by
+// setting+scheme); the kind is sniffed from the document. Every baseline entry must exist in the current file, and
 // accuracy (absolute), gigabytes and simulated time (relative) must stay
 // within tolerance. Entries that carry a "memory" object on both sides are
 // additionally gated on peak-RSS growth (--tol-mem-rel; one-sided, so a
@@ -126,7 +127,11 @@ struct DiffEntry {
   double sim_time_s = 0.0;
   double speedup = 0.0;       // gemm only
   double peak_rss_bytes = 0;  // 0 = document predates memory reporting
+  double bytes_up = 0.0;      // comm only: exact per-round wire traffic
+  double bytes_down = 0.0;
+  double wall_ms = 0.0;       // comm only: synchronize() wall ms per round
   bool is_gemm = false;
+  bool is_comm = false;
 };
 
 // Optional nested {"memory": {"peak_rss_bytes": ...}} object shared by run
@@ -150,6 +155,19 @@ std::map<std::string, DiffEntry> load_entries(const std::string& path,
       entries[shape.at("name").as_string() + "/" +
               shape.at("variant").as_string()] = e;
     }
+  } else if (root.has("bench") && root.at("bench").as_string() == "comm") {
+    // bench_comm: no training, so no accuracy — the gated quantities are
+    // the exact per-round wire bytes (deterministic, so any drift is a
+    // real accounting change) and the synchronize() wall clock.
+    for (const JsonValue& cell : root.at("cells").as_array()) {
+      DiffEntry e;
+      e.is_comm = true;
+      e.bytes_up = cell.at("bytes_up_per_round").as_number();
+      e.bytes_down = cell.at("bytes_down_per_round").as_number();
+      e.wall_ms = cell.at("wall_ms_per_round").as_number();
+      entries[cell.at("setting").as_string() + "/" +
+              cell.at("scheme").as_string()] = e;
+    }
   } else if (root.has("cells")) {  // bench_robustness
     for (const JsonValue& cell : root.at("cells").as_array()) {
       DiffEntry e;
@@ -172,7 +190,9 @@ std::map<std::string, DiffEntry> load_entries(const std::string& path,
               run.at("scheme").as_string()] = e;
     }
   } else {
-    fail(path + ": not a bench_gemm / bench_robustness / manifest document");
+    fail(path +
+         ": not a bench_gemm / bench_comm / bench_robustness / manifest "
+         "document");
   }
   return entries;
 }
@@ -210,6 +230,15 @@ int run_diff(const std::string& baseline_path,
         std::printf("ok   %-40s speedup %sx -> %sx\n", key.c_str(),
                     fmt(base.speedup, 2).c_str(), fmt(cur.speedup, 2).c_str());
       }
+      continue;
+    }
+    if (base.is_comm) {
+      diff_metric(key, "bytes_up_per_round", base.bytes_up, cur.bytes_up,
+                  tol.bytes_rel, /*relative=*/true);
+      diff_metric(key, "bytes_down_per_round", base.bytes_down,
+                  cur.bytes_down, tol.bytes_rel, /*relative=*/true);
+      diff_metric(key, "wall_ms_per_round", base.wall_ms, cur.wall_ms,
+                  tol.time_rel, /*relative=*/true);
       continue;
     }
     diff_metric(key, "final_accuracy", base.accuracy, cur.accuracy,
